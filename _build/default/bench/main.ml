@@ -1,0 +1,162 @@
+(* Benchmark harness (bechamel): the cost model behind the experiments.
+
+   B1  safe-area computation per dimension/representation
+   B2  exact polygon path vs implicit LP path on the same 2-D instance
+   B3  LP building blocks (simplex feasibility, hull membership)
+   B4  2-D convex hull
+   B5  implicit diameter search (D = 3)
+   B6  full protocol runs (one ΠAA execution, end to end, per config)
+   B7  one reliable-broadcast instance, end to end
+
+   Run with:  dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+let rng = Rng.create 9000L
+
+let random_points ~d ~n ~scale =
+  List.init n (fun _ ->
+      Vec.of_list (List.init d (fun _ -> Rng.float_range rng (-.scale) scale)))
+
+(* Fixed inputs per bench so that every run does identical work. *)
+
+let pts_1d_10 = random_points ~d:1 ~n:10 ~scale:10.
+let pts_2d_8 = random_points ~d:2 ~n:8 ~scale:10.
+let pts_2d_12 = random_points ~d:2 ~n:12 ~scale:10.
+let pts_3d_9 = random_points ~d:3 ~n:9 ~scale:10.
+let pts_2d_100 = random_points ~d:2 ~n:100 ~scale:10.
+let pts_4d_8 = random_points ~d:4 ~n:8 ~scale:10.
+
+let b1_safe_area =
+  Test.make_grouped ~name:"B1 safe-area"
+    [
+      Test.make ~name:"D=1 n=10 t=3"
+        (Staged.stage (fun () -> ignore (Safe_area.new_value ~t:3 pts_1d_10)));
+      Test.make ~name:"D=2 n=8 t=2"
+        (Staged.stage (fun () -> ignore (Safe_area.new_value ~t:2 pts_2d_8)));
+      Test.make ~name:"D=2 n=12 t=3"
+        (Staged.stage (fun () -> ignore (Safe_area.new_value ~t:3 pts_2d_12)));
+      Test.make ~name:"D=3 n=9 t=2 (LP)"
+        (Staged.stage (fun () -> ignore (Safe_area.new_value ~t:2 pts_3d_9)));
+    ]
+
+let b2_representations =
+  let subsets = Restrict.subsets ~t:2 pts_2d_8 in
+  Test.make_grouped ~name:"B2 2-D representation"
+    [
+      Test.make ~name:"exact polygon clipping"
+        (Staged.stage (fun () -> ignore (Safe_area.compute ~t:2 pts_2d_8)));
+      Test.make ~name:"implicit LP (same instance)"
+        (Staged.stage (fun () ->
+             let hs = Hullset.make subsets in
+             ignore (Hullset.diameter_pair hs)));
+    ]
+
+let b3_lp =
+  let p = Vec.of_list [ 1.; 1.; 1.; 1. ] in
+  Test.make_grouped ~name:"B3 LP kernel"
+    [
+      Test.make ~name:"feasibility (20 vars)"
+        (Staged.stage (fun () ->
+             let cs =
+               List.init 10 (fun i ->
+                   {
+                     Lp.coeffs =
+                       List.init 20 (fun j ->
+                           (j, float_of_int ((i + j) mod 5) +. 1.));
+                     cmp = Lp.Ge;
+                     rhs = 10.;
+                   })
+             in
+             ignore (Lp.feasible_point ~nvars:20 cs)));
+      Test.make ~name:"hull membership D=4 n=8"
+        (Staged.stage (fun () -> ignore (Membership.in_hull pts_4d_8 p)));
+    ]
+
+let b4_hull =
+  Test.make ~name:"B4 convex hull 2-D (100 pts)"
+    (Staged.stage (fun () -> ignore (Hull2d.hull pts_2d_100)))
+
+let b5_diameter =
+  let hs = Hullset.make (Restrict.subsets ~t:2 pts_3d_9) in
+  Test.make ~name:"B5 implicit diameter D=3"
+    (Staged.stage (fun () -> ignore (Hullset.diameter_pair hs)))
+
+let protocol_run ~n ~ts ~ta ~d ~seed =
+  let cfg = Config.make_exn ~n ~ts ~ta ~d ~eps:0.05 ~delta:10 in
+  let inputs =
+    List.init n (fun i ->
+        Vec.of_list (List.init d (fun c -> float_of_int ((i + c) mod 4))))
+  in
+  fun () ->
+    let o = Maaa.run ~seed ~policy:(Network.lockstep ~delta:10) ~cfg ~inputs () in
+    assert (o.Maaa.outputs <> [])
+
+let b6_protocol =
+  Test.make_grouped ~name:"B6 full protocol run"
+    [
+      Test.make ~name:"n=5 D=1 ts=1"
+        (Staged.stage (protocol_run ~n:5 ~ts:1 ~ta:0 ~d:1 ~seed:1L));
+      Test.make ~name:"n=8 D=2 ts=2"
+        (Staged.stage (protocol_run ~n:8 ~ts:2 ~ta:1 ~d:2 ~seed:1L));
+      Test.make ~name:"n=12 D=2 ts=3"
+        (Staged.stage (protocol_run ~n:12 ~ts:3 ~ta:1 ~d:2 ~seed:1L));
+    ]
+
+let b7_rbc =
+  Test.make ~name:"B7 one rBC instance n=7"
+    (Staged.stage (fun () ->
+         let obs =
+           Fixtures.run_rbc ~n:7 ~t:2 ~policy:(Network.lockstep ~delta:10)
+             ~honest:[ 0; 1; 2; 3; 4; 5; 6 ]
+             ~sender:(`Honest (0, Message.Pvec (Vec.of_list [ 1.; 2. ])))
+             ()
+         in
+         assert (List.length obs.Fixtures.rbc_deliveries = 7)))
+
+let tests =
+  Test.make_grouped ~name:"maaa"
+    [
+      b1_safe_area; b2_representations; b3_lp; b4_hull; b5_diameter;
+      b6_protocol; b7_rbc;
+    ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let pp_ns ppf v =
+  if v >= 1e9 then Format.fprintf ppf "%8.3f s " (v /. 1e9)
+  else if v >= 1e6 then Format.fprintf ppf "%8.3f ms" (v /. 1e6)
+  else if v >= 1e3 then Format.fprintf ppf "%8.3f us" (v /. 1e3)
+  else Format.fprintf ppf "%8.1f ns" v
+
+let () =
+  let results = benchmark () in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> e
+          | _ -> Float.nan
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols with Some r -> r | None -> Float.nan
+        in
+        (name, est, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  Format.printf "%-55s %12s  %s@." "benchmark" "time/run" "r^2";
+  Format.printf "%s@." (String.make 80 '-');
+  List.iter
+    (fun (name, est, r2) -> Format.printf "%-55s %a  %.4f@." name pp_ns est r2)
+    rows

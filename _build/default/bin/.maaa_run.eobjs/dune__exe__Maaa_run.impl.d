@@ -1,0 +1,1 @@
+bin/maaa_run.ml: Arg Behavior Cmd Cmdliner Config Engine Format Inputs Int64 List Network Rng Runner Scenario String Term Vec

@@ -1,0 +1,1 @@
+bin/maaa_run.mli:

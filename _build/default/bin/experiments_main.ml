@@ -1,0 +1,20 @@
+(* Regenerates every experiment report of EXPERIMENTS.md.
+   Usage: experiments.exe [e1 ... e12] — no argument runs everything. *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let ok =
+    match args with
+    | [] -> Experiments.run_all ()
+    | ids ->
+        List.for_all
+          (fun id ->
+            match Experiments.run_one (String.lowercase_ascii id) with
+            | ok -> ok
+            | exception Not_found ->
+                prerr_endline
+                  ("unknown experiment '" ^ id ^ "'; known: e1 .. e12");
+                false)
+          ids
+  in
+  exit (if ok then 0 else 1)

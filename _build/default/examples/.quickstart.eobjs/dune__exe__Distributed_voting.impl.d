@@ -1,0 +1,1 @@
+examples/distributed_voting.ml: Array Behavior Config Format List Network Runner Scenario Vec

@@ -1,0 +1,1 @@
+examples/federated_learning.ml: Behavior Config Format Int64 List Network Printf Rng Runner Scenario Vec

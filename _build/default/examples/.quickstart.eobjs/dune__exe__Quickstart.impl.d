@@ -1,0 +1,1 @@
+examples/quickstart.ml: Behavior Config Format List Runner Scenario Vec

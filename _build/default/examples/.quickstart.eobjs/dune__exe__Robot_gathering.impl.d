@@ -1,0 +1,1 @@
+examples/robot_gathering.ml: Behavior Config Format Inputs List Network Runner Scenario Vec

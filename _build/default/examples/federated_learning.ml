@@ -1,0 +1,79 @@
+(* Byzantine-robust federated learning (the paper's headline motivation).
+
+   n parties train a shared model by gradient descent on a common quadratic
+   loss. Each round every party computes a noisy local gradient (D = 4
+   model parameters); instead of trusting a coordinator they run
+   multidimensional approximate agreement on the gradient vector. A
+   Byzantine participant submits poisoned gradients every round.
+
+   Validity guarantees the agreed gradient lies in the convex hull of the
+   honest gradients, so the poisoner cannot steer training; for contrast we
+   also run naive gradient averaging, which the same poisoner wrecks.
+
+   Run with:  dune exec examples/federated_learning.exe *)
+
+let dim = 4
+let n = 6
+let gd_rounds = 5
+let lr = 0.35
+
+(* loss(w) = 1/2 |w - w*|^2, so grad = w - w*. *)
+let w_star = Vec.of_list [ 1.0; -2.0; 0.5; 3.0 ]
+let loss w = 0.5 *. Vec.dist2 w w_star
+let true_grad w = Vec.sub w w_star
+
+let local_gradient rng w =
+  (* every party sees the true gradient plus its own data noise *)
+  Vec.add (true_grad w)
+    (Vec.of_list (List.init dim (fun _ -> Rng.float_range rng (-0.15) 0.15)))
+
+let poisoned_gradient w =
+  (* push the model away from the optimum, hard *)
+  Vec.scale (-25.) (true_grad w)
+
+let () =
+  let cfg = Config.make_exn ~n ~ts:1 ~ta:0 ~d:dim ~eps:0.02 ~delta:10 in
+  let rng = Rng.create 2026L in
+  let byz = 4 in
+
+  Format.printf "federated round | agreed-gradient loss | naive-average loss@.";
+  let w_agreed = ref (Vec.zero dim) in
+  let w_naive = ref (Vec.zero dim) in
+  for round = 1 to gd_rounds do
+    (* honest gradients for both variants *)
+    let grads =
+      List.init n (fun i ->
+          if i = byz then poisoned_gradient !w_agreed
+          else local_gradient rng !w_agreed)
+    in
+    (* robust path: agree on a gradient with MAAA *)
+    let scenario =
+      Scenario.make
+        ~name:(Printf.sprintf "fl-round-%d" round)
+        ~seed:(Int64.of_int round) ~cfg ~inputs:grads
+        ~corruptions:[ (byz, Behavior.Honest_with_input (List.nth grads byz)) ]
+        ~policy:(Network.sync_uniform ~delta:10)
+        ()
+    in
+    let r = Runner.run scenario in
+    assert (r.Runner.live && r.Runner.valid && r.Runner.agreement);
+    let agreed = snd (List.hd r.Runner.outputs) in
+    w_agreed := Vec.sub !w_agreed (Vec.scale lr agreed);
+
+    (* naive path: plain averaging of all submitted gradients *)
+    let naive_grads =
+      List.mapi
+        (fun i g -> if i = byz then poisoned_gradient !w_naive else g)
+        grads
+    in
+    w_naive := Vec.sub !w_naive (Vec.scale lr (Vec.centroid naive_grads));
+
+    Format.printf "      %d         |      %8.4f        |    %10.2f@." round
+      (loss !w_agreed) (loss !w_naive)
+  done;
+
+  Format.printf "@.final model (agreement): %a@." Vec.pp !w_agreed;
+  Format.printf "optimum:                  %a@." Vec.pp w_star;
+  Format.printf
+    "@.the agreed-gradient model converges towards the optimum while the@.\
+     naively-averaged model is dragged away by the poisoner.@."

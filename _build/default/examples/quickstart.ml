@@ -1,0 +1,39 @@
+(* Quickstart: eight parties agree on a 2-D point despite one crashed and
+   one value-poisoning party, over a worst-case synchronous network.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* n = 8 parties, up to ts = 2 corruptions if the network is synchronous,
+     up to ta = 1 if it is not; D = 2 dimensions; outputs must be 0.05-close. *)
+  let cfg = Config.make_exn ~n:8 ~ts:2 ~ta:1 ~d:2 ~eps:0.05 ~delta:10 in
+
+  (* Every party holds a point in the plane. *)
+  let inputs =
+    [
+      [ 0.0; 0.0 ]; [ 1.0; 0.2 ]; [ 0.4; 1.1 ]; [ 2.0; 2.0 ];
+      [ 0.7; 0.7 ]; [ 1.5; 0.1 ]; [ 0.2; 1.9 ]; [ 9.9; -9.9 ];
+    ]
+    |> List.map Vec.of_list
+  in
+
+  (* Parties 3 and 7 are corrupted: 3 crashes from the start, 7's input
+     (9.9, -9.9) is adversarial — it follows the protocol, so silencing it
+     is not enough; the safe-area trimming has to contain it. *)
+  let scenario =
+    Scenario.make ~name:"quickstart" ~cfg ~inputs
+      ~corruptions:
+        [ (3, Behavior.Silent); (7, Behavior.Honest_with_input (List.nth inputs 7)) ]
+      ()
+  in
+  let r = Runner.run scenario in
+
+  Format.printf "%a@.@." Runner.pp_summary r;
+  Format.printf "honest outputs:@.";
+  List.iter
+    (fun (i, v) -> Format.printf "  party %d: %a@." i Vec.pp v)
+    r.Runner.outputs;
+  Format.printf
+    "@.all outputs are inside the convex hull of the honest inputs and@.\
+     within eps = %g of each other.@."
+    cfg.Config.eps

@@ -1,0 +1,44 @@
+(* Robot gathering (Section 1 of the paper): robots scattered on a circle
+   must converge to (almost) one meeting point in the plane, even though
+   two of them are Byzantine and the radio network may misbehave.
+
+   Each robot's input is its own position; the protocol's Validity property
+   means the meeting point is inside the convex hull of the honest robots'
+   positions — no honest robot is lured outside the area they occupy.
+
+   Run with:  dune exec examples/robot_gathering.exe *)
+
+let () =
+  let n = 10 in
+  let cfg = Config.make_exn ~n ~ts:2 ~ta:1 ~d:2 ~eps:0.01 ~delta:10 in
+  let positions = Inputs.ring ~n ~radius:50. in
+
+  Format.printf "robot positions (radius-50 circle):@.";
+  List.iteri (fun i p -> Format.printf "  robot %d at %a@." i Vec.pp p) positions;
+
+  (* Robot 2 lies about its position to drag the swarm away; robot 7
+     crashes mid-protocol. The network is synchronous but the adversary
+     delivers corrupted robots' messages first (rushing). *)
+  let liar_position = Vec.of_list [ 5000.; 5000. ] in
+  let corruptions =
+    [ (2, Behavior.Honest_with_input liar_position); (7, Behavior.Crash_at 70) ]
+  in
+  let scenario =
+    Scenario.make ~name:"robot-gathering" ~cfg ~inputs:positions ~corruptions
+      ~policy:(Network.rushing ~delta:10 ~corrupt:(fun i -> i = 2 || i = 7))
+      ()
+  in
+  let r = Runner.run scenario in
+
+  Format.printf "@.%a@.@." Runner.pp_summary r;
+  (match r.Runner.outputs with
+  | (_, meeting) :: _ ->
+      Format.printf "meeting point: %a@." Vec.pp meeting;
+      Format.printf "distance from the liar's fake position: %.1f@."
+        (Vec.dist meeting liar_position);
+      Format.printf "max distance between honest meeting points: %.2e@."
+        r.Runner.diameter
+  | [] -> Format.printf "no outputs!@.");
+  Format.printf
+    "@.the swarm gathers inside its own convex hull; the liar at (5000, 5000)@.\
+     could not move the meeting point outside it.@."

@@ -1,0 +1,1 @@
+lib/baselines/async_aa.ml: Engine Hashtbl Int List Map Message Option Pairset Rbc Safe_area Set Vec

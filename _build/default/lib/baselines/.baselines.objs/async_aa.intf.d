@@ -1,0 +1,1 @@
+lib/baselines/async_aa.mli: Engine Message Vec

@@ -1,0 +1,1 @@
+lib/baselines/sync_aa.ml: Engine Hashtbl List Message Option Pairset Safe_area Vec

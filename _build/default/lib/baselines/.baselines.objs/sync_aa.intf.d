@@ -1,0 +1,1 @@
+lib/baselines/sync_aa.mli: Engine Message Vec

@@ -1,0 +1,26 @@
+(** The pure-asynchronous baseline: witness-based [D]-AA in the style of
+    Mendes–Herlihy, resilience [(D+2)·t < n].
+
+    Entirely count-driven — no clocks, no Δ. Each iteration reliably
+    broadcasts the current value, waits for [n − t] values, reliably
+    broadcasts the collected set as a report, marks validated report
+    senders as witnesses, and on [n − t] witnesses trims [t] outliers via
+    the safe area and adopts the diameter-pair midpoint. A fixed number of
+    iterations is run (the full Mendes–Herlihy protocol estimates it; the
+    harness supplies the same estimate our Πinit would give, keeping the
+    comparison fair).
+
+    Against at most [t < n/(D+2)] corruptions this protocol is correct in
+    {e any} network; with [ts > t] corruptions under synchrony — the regime
+    the hybrid protocol exploits — its trim level is too low and validity
+    breaks, which experiment E12 measures. *)
+
+type t
+
+val attach :
+  n:int -> t:int -> iters:int -> me:int -> Message.t Engine.t -> t
+
+val start : t -> Vec.t -> unit
+val output : t -> Vec.t option
+val value_history : t -> (int * Vec.t) list
+val output_time : t -> int option

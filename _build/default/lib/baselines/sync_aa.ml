@@ -1,0 +1,90 @@
+type t = {
+  n : int;
+  thr : int;
+  rounds : int;
+  delta : int;
+  me : int;
+  engine : Message.t Engine.t;
+  history : (int, Vec.t) Hashtbl.t;
+  received : (int, Pairset.t) Hashtbl.t;  (* round -> values *)
+  mutable round : int;
+  mutable value : Vec.t option;
+  mutable output : Vec.t option;
+  mutable starved : int;
+}
+
+let output t = t.output
+let starved_rounds t = t.starved
+
+let value_history t =
+  Hashtbl.fold (fun r v acc -> (r, v) :: acc) t.history []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let round_set t r =
+  match Hashtbl.find_opt t.received r with
+  | Some s -> s
+  | None -> Pairset.empty
+
+(* Rounds last Δ + 1 ticks so that a message sent at a round boundary and
+   delivered after exactly Δ is still counted for its round (the model
+   treats "delivered within Δ" as included). *)
+let begin_round t =
+  let v = Option.get t.value in
+  Engine.broadcast t.engine ~src:t.me
+    (Message.Sync_round { round = t.round; value = v });
+  Engine.set_timer t.engine ~party:t.me
+    ~at:((t.round + 1) * (t.delta + 1))
+    ~tag:t.round
+
+(* Round end: trim [k] outliers of what arrived. Under synchrony all honest
+   values arrived, so at most [k = |M| - (n - t)] of them are corrupt; under
+   a broken network the trim level is silently wrong — by design. *)
+let end_round t =
+  let m = round_set t t.round in
+  let got = Pairset.cardinal m in
+  if got >= t.n - t.thr then begin
+    let k = got - (t.n - t.thr) in
+    match Safe_area.new_value ~t:k (Pairset.values m) with
+    | Some v -> t.value <- Some v
+    | None -> t.starved <- t.starved + 1 (* keep the old value *)
+  end
+  else t.starved <- t.starved + 1;
+  Hashtbl.replace t.history (t.round + 1) (Option.get t.value);
+  t.round <- t.round + 1;
+  if t.round >= t.rounds then t.output <- t.value else begin_round t
+
+let handle t ev =
+  match ev with
+  | Engine.Deliver { src; msg = Message.Sync_round { round; value } } ->
+      (* accept only traffic for the round in progress: late messages are
+         lost, which is the protocol's Achilles heel off-synchrony *)
+      if round = t.round && t.output = None then
+        Hashtbl.replace t.received round
+          (Pairset.add ~party:src value (round_set t round))
+  | Engine.Deliver _ -> ()
+  | Engine.Timer r -> if r = t.round && t.output = None then end_round t
+
+let attach ~n ~t:thr ~rounds ~delta ~me engine =
+  let t =
+    {
+      n;
+      thr;
+      rounds;
+      delta;
+      me;
+      engine;
+      history = Hashtbl.create 16;
+      received = Hashtbl.create 16;
+      round = 0;
+      value = None;
+      output = None;
+      starved = 0;
+    }
+  in
+  Engine.set_party engine me (handle t);
+  t
+
+let start t v =
+  t.value <- Some v;
+  Hashtbl.replace t.history 0 v;
+  if t.rounds = 0 then t.output <- Some v else begin_round t

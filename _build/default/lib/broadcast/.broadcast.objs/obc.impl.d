@@ -1,0 +1,1 @@
+lib/broadcast/obc.ml: Int List Map Message Pairset Params Set

@@ -1,0 +1,1 @@
+lib/broadcast/obc.mli: Message Pairset Vec

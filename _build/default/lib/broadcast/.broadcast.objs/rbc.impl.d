@@ -1,0 +1,1 @@
+lib/broadcast/rbc.ml: Int Map Message Set Stdlib

@@ -1,0 +1,1 @@
+lib/broadcast/rbc.mli: Message

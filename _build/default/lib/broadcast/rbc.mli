@@ -1,0 +1,38 @@
+(** Bracha's Reliable Broadcast (ΠrBC, Theorem 4.2), multiplexed.
+
+    One value of type {!t} holds {e all} reliable-broadcast instances a
+    single party participates in, keyed by {!Message.rbc_id}. Instances are
+    created lazily on the first message that mentions them, so a party
+    echoes and amplifies for instances it never explicitly joined — which
+    is exactly what the paper's Validity/Consistency-"even when not all
+    honest parties join" and Conditional Liveness properties require.
+
+    Secure for [n > 3t], with [c_rBC = 3] (an honest sender's broadcast
+    completes within 3Δ of a synchronous start) and [c'_rBC = 2] (once any
+    honest party delivers, all do within 2Δ). *)
+
+type t
+
+type callbacks = {
+  send_all : Message.t -> unit;
+      (** best-effort broadcast to all parties, self included *)
+  deliver : Message.rbc_id -> Message.payload -> unit;
+      (** invoked exactly once per instance, on output *)
+}
+
+val create : n:int -> t:int -> callbacks -> t
+(** [t] is the corruption threshold the instance thresholds are computed
+    from (the paper uses [ts]); requires [n > 3t]. *)
+
+val broadcast : t -> Message.rbc_id -> Message.payload -> unit
+(** Act as the designated sender of instance [id] (the caller must be
+    [id.origin]): sends the initial value to everyone. *)
+
+val on_message :
+  t -> from:int -> Message.rbc_id -> Message.step -> Message.payload -> unit
+(** Feed an incoming [Rbc] message. Init steps are only accepted from the
+    instance's origin (authenticated channels); echo and ready votes are
+    counted at most once per (sender, value). *)
+
+val delivered : t -> Message.rbc_id -> Message.payload option
+(** The instance's output, if it has been delivered locally. *)

@@ -1,0 +1,1 @@
+lib/geometry/hullset.ml: Array List Lp Membership Option Vec

@@ -1,0 +1,1 @@
+lib/geometry/hullset.mli: Vec

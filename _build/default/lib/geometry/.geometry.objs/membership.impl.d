@@ -1,0 +1,1 @@
+lib/geometry/membership.ml: Array List Lp Option Vec

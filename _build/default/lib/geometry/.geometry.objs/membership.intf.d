@@ -1,0 +1,1 @@
+lib/geometry/membership.mli: Vec

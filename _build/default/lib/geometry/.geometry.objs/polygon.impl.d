@@ -1,0 +1,1 @@
+lib/geometry/polygon.ml: Array Float Format Hull2d List Option Vec

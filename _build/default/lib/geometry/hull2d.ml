@@ -1,0 +1,41 @@
+let cross ~o ~a ~b =
+  ((Vec.get a 0 -. Vec.get o 0) *. (Vec.get b 1 -. Vec.get o 1))
+  -. ((Vec.get a 1 -. Vec.get o 1) *. (Vec.get b 0 -. Vec.get o 0))
+
+(* Andrew's monotone chain. Sorting and the strict-turn test make the result
+   deterministic; duplicate points are removed up front. Collinear inputs
+   degrade gracefully to the two extreme points. *)
+let hull pts =
+  if pts = [] then invalid_arg "Hull2d.hull: empty list";
+  List.iter
+    (fun p -> if Vec.dim p <> 2 then invalid_arg "Hull2d.hull: not 2-D")
+    pts;
+  let pts = List.sort_uniq Vec.compare pts in
+  match pts with
+  | [] -> assert false
+  | ([ _ ] | [ _; _ ]) as small -> small
+  | _ ->
+      let arr = Array.of_list pts in
+      let n = Array.length arr in
+      (* Builds one chain; returns it in visit order with its last point
+         dropped (it starts the other chain). *)
+      let build idx_seq =
+        let chain = ref [] in
+        Seq.iter
+          (fun i ->
+            let p = arr.(i) in
+            let rec pop () =
+              match !chain with
+              | a :: b :: _ when cross ~o:b ~a ~b:p <= 1e-12 ->
+                  chain := List.tl !chain;
+                  pop ()
+              | _ -> ()
+            in
+            pop ();
+            chain := p :: !chain)
+          idx_seq;
+        List.tl !chain |> List.rev
+      in
+      let lower = build (Seq.init n (fun i -> i)) in
+      let upper = build (Seq.init n (fun i -> n - 1 - i)) in
+      lower @ upper

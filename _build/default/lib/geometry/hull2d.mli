@@ -1,0 +1,13 @@
+(** Convex hulls in the plane. *)
+
+val hull : Vec.t list -> Vec.t list
+(** [hull pts] is the convex hull of the 2-D points [pts] as a
+    counter-clockwise list of vertices without repetition. Collinear points
+    interior to an edge are dropped. Degenerate inputs are handled: the hull
+    of one point is that point, of collinear points the two extremes.
+
+    @raise Invalid_argument on an empty list or non-2-D points. *)
+
+val cross : o:Vec.t -> a:Vec.t -> b:Vec.t -> float
+(** Signed area ×2 of triangle [(o, a, b)]: positive when [o→a→b] turns
+    counter-clockwise. *)

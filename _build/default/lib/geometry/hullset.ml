@@ -1,0 +1,155 @@
+type t = { dim : int; hulls : Vec.t array array; offsets : int array; nvars : int }
+
+let make hulls =
+  (match hulls with [] -> invalid_arg "Hullset.make: no hulls" | _ -> ());
+  let dim =
+    match hulls with
+    | (v :: _) :: _ -> Vec.dim v
+    | [] :: _ -> invalid_arg "Hullset.make: empty hull"
+    | [] -> assert false
+  in
+  List.iter
+    (fun h ->
+      if h = [] then invalid_arg "Hullset.make: empty hull";
+      List.iter
+        (fun v ->
+          if Vec.dim v <> dim then invalid_arg "Hullset.make: mixed dimensions")
+        h)
+    hulls;
+  let hulls = Array.of_list (List.map Array.of_list hulls) in
+  let k = Array.length hulls in
+  let offsets = Array.make k 0 in
+  let n = ref 0 in
+  Array.iteri
+    (fun i h ->
+      offsets.(i) <- !n;
+      n := !n + Array.length h)
+    hulls;
+  { dim; hulls; offsets; nvars = !n }
+
+let dim t = t.dim
+
+(* Shared constraint system: one convex-combination weight per generator
+   point, each hull's weights sum to 1, and all hulls describe the same
+   point (hull i's combination equals hull 0's, coordinate-wise). *)
+let constraints t =
+  let k = Array.length t.hulls in
+  let sums =
+    List.init k (fun i ->
+        {
+          Lp.coeffs =
+            List.init (Array.length t.hulls.(i)) (fun j ->
+                (t.offsets.(i) + j, 1.));
+          cmp = Lp.Eq;
+          rhs = 1.;
+        })
+  in
+  let equalities =
+    List.concat
+      (List.init (k - 1) (fun i ->
+           let i = i + 1 in
+           List.init t.dim (fun c ->
+               let pos =
+                 List.init (Array.length t.hulls.(i)) (fun j ->
+                     (t.offsets.(i) + j, Vec.get t.hulls.(i).(j) c))
+               in
+               let neg =
+                 List.init (Array.length t.hulls.(0)) (fun j ->
+                     (t.offsets.(0) + j, -.Vec.get t.hulls.(0).(j) c))
+               in
+               { Lp.coeffs = pos @ neg; cmp = Lp.Eq; rhs = 0. })))
+  in
+  sums @ equalities
+
+let point_of_solution t x =
+  let h0 = t.hulls.(0) in
+  Vec.lincomb
+    (List.init (Array.length h0) (fun j -> (x.(t.offsets.(0) + j), h0.(j))))
+
+let find_point ?(eps = 1e-9) t =
+  Option.map (point_of_solution t) (Lp.feasible_point ~eps ~nvars:t.nvars (constraints t))
+
+let is_empty ?eps t = Option.is_none (find_point ?eps t)
+
+let contains ?(eps = 1e-9) t p =
+  Array.for_all (fun h -> Membership.in_hull ~eps (Array.to_list h) p) t.hulls
+
+let support ?(eps = 1e-9) t ~dir =
+  let h0 = t.hulls.(0) in
+  let objective =
+    List.init (Array.length h0) (fun j ->
+        (t.offsets.(0) + j, Vec.dot dir h0.(j)))
+  in
+  match Lp.solve ~eps ~nvars:t.nvars ~minimize:false ~objective (constraints t) with
+  | Lp.Infeasible -> None
+  | Lp.Unbounded -> assert false (* K is bounded: a product of simplices *)
+  | Lp.Optimal (v, x) -> Some (v, point_of_solution t x)
+
+(* Deterministic direction family for the diameter search: coordinate axes
+   plus normalised pairwise differences of the (deduped) generators. Capped
+   so the query cost stays bounded; alternating refinement then sharpens the
+   best candidate. *)
+let seed_directions t =
+  let axes = List.init t.dim (fun c -> Vec.basis ~dim:t.dim c 1.) in
+  let gens =
+    Array.to_list t.hulls |> List.concat_map Array.to_list
+    |> List.sort_uniq Vec.compare
+  in
+  let diffs = ref [] in
+  let rec pairs = function
+    | [] -> ()
+    | g :: rest ->
+        List.iter
+          (fun g' ->
+            match Vec.normalize (Vec.sub g g') with
+            | Some d -> diffs := d :: !diffs
+            | None -> ())
+          rest;
+        pairs rest
+  in
+  pairs gens;
+  let diffs = List.sort_uniq Vec.compare !diffs in
+  let cap = 24 in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  axes @ take cap diffs
+
+let diameter_pair ?(eps = 1e-9) t =
+  match find_point ~eps t with
+  | None -> None
+  | Some p0 ->
+      let width d =
+        match (support ~eps t ~dir:d, support ~eps t ~dir:(Vec.neg d)) with
+        | Some (va, a), Some (vb, b) -> Some (va +. vb, a, b)
+        | _ -> None
+      in
+      let best = ref (0., p0, p0) in
+      let consider d =
+        match width d with
+        | Some (w, a, b) ->
+            let _, _, _ = !best in
+            let bw, _, _ = !best in
+            if w > bw +. 1e-12 then best := (w, a, b)
+        | None -> ()
+      in
+      List.iter consider (seed_directions t);
+      (* Alternating refinement from the best seed. *)
+      let rec refine i =
+        if i >= 8 then ()
+        else begin
+          let w0, a, b = !best in
+          match Vec.normalize (Vec.sub a b) with
+          | None -> ()
+          | Some d -> (
+              consider d;
+              let w1, _, _ = !best in
+              if w1 > w0 +. 1e-10 then refine (i + 1))
+        end
+      in
+      refine 0;
+      let _, a, b = !best in
+      (* Deterministic orientation of the pair. *)
+      if Vec.compare a b <= 0 then Some (a, b) else Some (b, a)

@@ -1,0 +1,37 @@
+(** Operations on an intersection [K = ⋂ᵢ convex(Vᵢ)] of finitely many
+    convex hulls in arbitrary dimension, queried through linear programs.
+
+    This is the implicit representation backing safe areas for [D ≥ 3],
+    where explicit vertex enumeration of the intersection is impractical.
+    All queries are deterministic. *)
+
+type t
+(** A non-trivial intersection description (at least one hull, every hull
+    non-empty, all points of equal dimension). *)
+
+val make : Vec.t list list -> t
+(** @raise Invalid_argument on an empty list, an empty hull, or mixed
+    dimensions. *)
+
+val dim : t -> int
+
+val find_point : ?eps:float -> t -> Vec.t option
+(** Some point of [K], or [None] when [K = ∅]. *)
+
+val is_empty : ?eps:float -> t -> bool
+
+val contains : ?eps:float -> t -> Vec.t -> bool
+(** [contains t p]: membership in every hull. *)
+
+val support : ?eps:float -> t -> dir:Vec.t -> (float * Vec.t) option
+(** [support t ~dir] maximises [dir·p] over [p ∈ K]; returns the value and
+    a maximiser. [None] when [K = ∅]. *)
+
+val diameter_pair : ?eps:float -> t -> (Vec.t * Vec.t) option
+(** A deterministic pair [(a, b)] of points of [K] approximating
+    [argmax δ(a,b)], found by maximising the support width
+    [h_K(d) + h_K(−d)] over a direction family (coordinate axes and
+    normalised pairwise differences of the hulls' generators) followed by
+    alternating refinement [d ← (a−b)/|a−b|]. Both returned points lie in
+    [K] exactly (they are LP support points), so their midpoint is in [K].
+    [None] when [K = ∅]. *)

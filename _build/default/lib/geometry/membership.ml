@@ -1,0 +1,23 @@
+let coeffs ?(eps = 1e-9) vs p =
+  match vs with
+  | [] -> None
+  | v0 :: _ ->
+      let d = Vec.dim v0 in
+      if Vec.dim p <> d then invalid_arg "Membership: dimension mismatch";
+      let n = List.length vs in
+      let varr = Array.of_list vs in
+      let rows =
+        List.init d (fun coord ->
+            {
+              Lp.coeffs =
+                List.init n (fun j -> (j, Vec.get varr.(j) coord));
+              cmp = Lp.Eq;
+              rhs = Vec.get p coord;
+            })
+      in
+      let sum1 =
+        { Lp.coeffs = List.init n (fun j -> (j, 1.)); cmp = Lp.Eq; rhs = 1. }
+      in
+      Lp.feasible_point ~eps ~nvars:n (sum1 :: rows)
+
+let in_hull ?eps vs p = Option.is_some (coeffs ?eps vs p)

@@ -1,0 +1,11 @@
+(** Convex-hull membership in arbitrary dimension, via linear programming. *)
+
+val coeffs : ?eps:float -> Vec.t list -> Vec.t -> float array option
+(** [coeffs vs p] is a vector of convex-combination coefficients [λ ≥ 0],
+    [Σλ = 1], with [Σ λ_i·vs_i = p], or [None] when [p ∉ convex(vs)].
+    [eps] is the LP tolerance. *)
+
+val in_hull : ?eps:float -> Vec.t list -> Vec.t -> bool
+(** [in_hull vs p] tests [p ∈ convex(vs)]. Used both inside the safe-area
+    machinery and by the harness to check the protocol's Validity property
+    ("outputs lie in the convex hull of the honest inputs"). *)

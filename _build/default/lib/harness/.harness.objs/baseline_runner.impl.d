@@ -1,0 +1,1 @@
+lib/harness/baseline_runner.ml: Array Async_aa Engine Float Fun List Membership Message Network Option Params Sync_aa Vec

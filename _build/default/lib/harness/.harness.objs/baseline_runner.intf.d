@@ -1,0 +1,1 @@
+lib/harness/baseline_runner.mli: Engine Vec

@@ -1,0 +1,1 @@
+lib/harness/fixtures.ml: Array Engine Init_round List Message Obc Option Pairset Rbc Vec

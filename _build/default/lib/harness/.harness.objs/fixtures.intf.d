@@ -1,0 +1,1 @@
+lib/harness/fixtures.mli: Engine Message Pairset Vec

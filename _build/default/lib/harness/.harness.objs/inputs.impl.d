@@ -1,0 +1,1 @@
+lib/harness/inputs.ml: Float List Rng Vec

@@ -1,0 +1,1 @@
+lib/harness/inputs.mli: Rng Vec

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Behavior Config Engine Float Format List Membership Message Option Party Scenario Traffic Vec

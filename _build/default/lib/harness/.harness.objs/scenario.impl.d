@@ -1,0 +1,1 @@
+lib/harness/scenario.ml: Array Behavior Config Engine Fun List Network Vec

@@ -1,0 +1,1 @@
+lib/harness/traffic.ml: Array Engine List Message

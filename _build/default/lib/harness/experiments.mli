@@ -1,0 +1,15 @@
+(** The experiment suite: one entry per paper artefact (figures, theorems,
+    quantitative lemma claims), as indexed in DESIGN.md §3. Each experiment
+    prints a self-contained report (tables included) to stdout and returns
+    [true] when every checked property held. [EXPERIMENTS.md] records the
+    reference output. *)
+
+val all : (string * string * (unit -> bool)) list
+(** [(id, title, run)] for e1 … e12, in order. *)
+
+val run_one : string -> bool
+(** Runs the experiment with the given id ([e1] … [e12]).
+    @raise Not_found for an unknown id. *)
+
+val run_all : unit -> bool
+(** Runs every experiment; [true] iff all passed. *)

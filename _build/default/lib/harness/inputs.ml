@@ -1,0 +1,40 @@
+let simplex_corners ~d ~scale ~n =
+  List.init n (fun i ->
+      let c = i mod (d + 1) in
+      if c = 0 then Vec.zero d else Vec.basis ~dim:d (c - 1) scale)
+
+let uniform_cube rng ~d ~n ~side =
+  List.init n (fun _ ->
+      Vec.of_list (List.init d (fun _ -> Rng.float_range rng 0. side)))
+
+(* Box–Muller from two uniform draws. *)
+let gaussian rng =
+  let u1 = max 1e-12 (Rng.float01 rng) and u2 = Rng.float01 rng in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let gaussian_cluster rng ~d ~n ~center ~spread =
+  if Vec.dim center <> d then invalid_arg "Inputs.gaussian_cluster";
+  List.init n (fun _ ->
+      Vec.add center
+        (Vec.of_list (List.init d (fun _ -> spread *. gaussian rng))))
+
+let two_clusters rng ~d ~n ~separation =
+  let far =
+    Vec.scale (separation /. sqrt (float_of_int d)) (Vec.make d 1.)
+  in
+  List.init n (fun i ->
+      let center = if i mod 2 = 0 then Vec.zero d else far in
+      Vec.add center
+        (Vec.of_list
+           (List.init d (fun _ -> 0.05 *. separation *. gaussian rng))))
+
+let gradients rng ~d ~n ~truth ~noise =
+  if Vec.dim truth <> d then invalid_arg "Inputs.gradients";
+  List.init n (fun _ ->
+      Vec.add truth
+        (Vec.of_list (List.init d (fun _ -> noise *. gaussian rng))))
+
+let ring ~n ~radius =
+  List.init n (fun i ->
+      let angle = 2. *. Float.pi *. float_of_int i /. float_of_int n in
+      Vec.of_list [ radius *. cos angle; radius *. sin angle ])

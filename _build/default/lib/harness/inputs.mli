@@ -1,0 +1,25 @@
+(** Workload generators: the input distributions the experiments and
+    examples feed to the protocols. All are deterministic given the RNG. *)
+
+val simplex_corners : d:int -> scale:float -> n:int -> Vec.t list
+(** Party [i] gets [scale·e_{i mod (d+1)}] (with [e_0 = 0]): the adversarial
+    corner configuration of Theorem 3.1 / Figure 1. *)
+
+val uniform_cube : Rng.t -> d:int -> n:int -> side:float -> Vec.t list
+(** i.i.d. uniform points in [\[0, side\]^d]. *)
+
+val gaussian_cluster :
+  Rng.t -> d:int -> n:int -> center:Vec.t -> spread:float -> Vec.t list
+(** Points around [center] (Box–Muller, radius ~ [spread]). *)
+
+val two_clusters : Rng.t -> d:int -> n:int -> separation:float -> Vec.t list
+(** Half the parties near the origin, half near
+    [separation·(1,…,1)/√d] — a worst-ish case for convergence. *)
+
+val gradients :
+  Rng.t -> d:int -> n:int -> truth:Vec.t -> noise:float -> Vec.t list
+(** Federated-learning-style inputs: the common gradient [truth] plus
+    per-party zero-mean noise of magnitude [noise]. *)
+
+val ring : n:int -> radius:float -> Vec.t list
+(** [n] points on a circle in the plane (robot-gathering workload). *)

@@ -1,0 +1,116 @@
+type result = {
+  scenario_name : string;
+  live : bool;
+  valid : bool;
+  agreement : bool;
+  diameter : float;
+  eps : float;
+  outputs : (int * Vec.t) list;
+  output_iters : (int * int) list;
+  output_times : (int * int) list;
+  t_estimates : (int * int) list;
+  histories : (int * (int * Vec.t) list) list;
+  completion_rounds : float;
+  stats : Engine.stats;
+  honest_inputs : Vec.t list;
+  traffic : (string * int * int) list;
+}
+
+let run (s : Scenario.t) =
+  let cfg = s.Scenario.cfg in
+  let engine =
+    Engine.create ~seed:s.seed ~size_of:Message.size_of ~n:cfg.Config.n
+      ~policy:s.policy ()
+  in
+  let traffic = Traffic.create () in
+  Traffic.attach traffic engine;
+  let inputs = Array.of_list s.inputs in
+  let honest_ids = Scenario.honest s in
+  let parties =
+    List.map (fun i -> (i, Party.attach ~cfg ~me:i engine)) honest_ids
+  in
+  List.iter
+    (fun (i, b) -> Behavior.install engine ~cfg ~me:i ~input:inputs.(i) b)
+    s.corruptions;
+  List.iter (fun (i, p) -> Party.start p inputs.(i)) parties;
+  Engine.run engine;
+  let outputs =
+    List.filter_map
+      (fun (i, p) -> Option.map (fun v -> (i, v)) (Party.output p))
+      parties
+  in
+  let honest_inputs = Scenario.honest_inputs s in
+  let live = List.length outputs = List.length parties in
+  let valid =
+    outputs <> []
+    && List.for_all
+         (fun (_, v) -> Membership.in_hull ~eps:1e-6 honest_inputs v)
+         outputs
+  in
+  let diameter = Vec.diameter (List.map snd outputs) in
+  let agreement = live && diameter <= cfg.Config.eps +. 1e-9 in
+  let output_times =
+    List.filter_map
+      (fun (i, p) -> Option.map (fun t -> (i, t)) (Party.output_time p))
+      parties
+  in
+  let completion_rounds =
+    List.fold_left (fun acc (_, t) -> Float.max acc (float_of_int t)) 0. output_times
+    /. float_of_int cfg.Config.delta
+  in
+  {
+    scenario_name = s.name;
+    live;
+    valid;
+    agreement;
+    diameter;
+    eps = cfg.Config.eps;
+    outputs;
+    output_iters =
+      List.filter_map
+        (fun (i, p) -> Option.map (fun it -> (i, it)) (Party.output_iteration p))
+        parties;
+    output_times;
+    t_estimates =
+      List.filter_map
+        (fun (i, p) -> Option.map (fun t -> (i, t)) (Party.iteration_estimate p))
+        parties;
+    histories = List.map (fun (i, p) -> (i, Party.value_history p)) parties;
+    completion_rounds;
+    stats = Engine.stats engine;
+    honest_inputs;
+    traffic = Traffic.to_rows traffic;
+  }
+
+(* I_it = the honest values adopted in iteration [it]; only iterations every
+   honest party reached are meaningful for Lemma 5.15. *)
+let iteration_diameters r =
+  match r.histories with
+  | [] -> []
+  | (_, first) :: _ ->
+      let iters = List.map fst first in
+      List.filter_map
+        (fun it ->
+          let values =
+            List.filter_map (fun (_, h) -> List.assoc_opt it h) r.histories
+          in
+          if List.length values = List.length r.histories then
+            Some (it, Vec.diameter values)
+          else None)
+        iters
+
+let contraction_ratios r =
+  let diams = iteration_diameters r in
+  let rec go = function
+    | (it0, d0) :: ((it1, d1) :: _ as rest) when it1 = it0 + 1 ->
+        if d0 > 1e-12 then (it1, d1 /. d0) :: go rest else go rest
+    | _ :: rest -> go rest
+    | [] -> []
+  in
+  go diams
+
+let pp_summary ppf r =
+  Format.fprintf ppf
+    "%s: live=%b valid=%b agreement=%b diam=%.3e (eps=%g) rounds=%.1f msgs=%d"
+    r.scenario_name r.live r.valid r.agreement r.diameter r.eps
+    r.completion_rounds r.stats.Engine.messages_sent

@@ -1,0 +1,40 @@
+(** Executes a {!Scenario} and grades the run against the paper's three
+    properties: Validity (outputs in the honest inputs' convex hull, checked
+    by LP), ε-Agreement (output diameter ≤ ε) and Liveness (every honest
+    party outputs). *)
+
+type result = {
+  scenario_name : string;
+  live : bool;
+  valid : bool;
+  agreement : bool;
+  diameter : float;  (** of the honest outputs *)
+  eps : float;
+  outputs : (int * Vec.t) list;
+  output_iters : (int * int) list;
+  output_times : (int * int) list;
+  t_estimates : (int * int) list;
+  histories : (int * (int * Vec.t) list) list;
+  completion_rounds : float;  (** last honest output time / Δ *)
+  stats : Engine.stats;
+  honest_inputs : Vec.t list;
+  traffic : (string * int * int) list;
+      (** per-primitive (class, messages, bytes), see {!Traffic} *)
+}
+
+val run : Scenario.t -> result
+(** Runs ΠAA for every honest party and installs the scenario's Byzantine
+    behaviours for the rest. Never raises on liveness failures — they are
+    reported in the result (lower-bound experiments rely on observing
+    them). *)
+
+val contraction_ratios : result -> (int * float) list
+(** For each iteration [it ≥ 1] completed by {e all} honest parties, the
+    ratio [δmax(I_it) / δmax(I_{it-1})] (skipping already-collapsed
+    predecessors). Lemma 5.15 bounds each by [√(7/8)]. *)
+
+val iteration_diameters : result -> (int * float) list
+(** [δmax(I_it)] per fully-completed iteration, iteration 0 being the
+    Πinit outputs. *)
+
+val pp_summary : Format.formatter -> result -> unit

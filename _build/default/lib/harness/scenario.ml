@@ -1,0 +1,44 @@
+type t = {
+  name : string;
+  cfg : Config.t;
+  seed : int64;
+  policy : Engine.delay_policy;
+  sync_network : bool;
+  inputs : Vec.t list;
+  corruptions : (int * Behavior.t) list;
+}
+
+let make ?(name = "scenario") ?(seed = 1L) ?policy ?(sync_network = true)
+    ?(corruptions = []) ~cfg ~inputs () =
+  if List.length inputs <> cfg.Config.n then
+    invalid_arg "Scenario.make: need one input per party";
+  List.iter
+    (fun v ->
+      if Vec.dim v <> cfg.Config.d then
+        invalid_arg "Scenario.make: input dimension mismatch")
+    inputs;
+  List.iter
+    (fun (i, _) ->
+      if i < 0 || i >= cfg.Config.n then
+        invalid_arg "Scenario.make: corrupted party out of range")
+    corruptions;
+  let ids = List.map fst corruptions in
+  if List.length (List.sort_uniq compare ids) <> List.length ids then
+    invalid_arg "Scenario.make: duplicate corruption";
+  let policy =
+    match policy with
+    | Some p -> p
+    | None -> Network.lockstep ~delta:cfg.Config.delta
+  in
+  { name; cfg; seed; policy; sync_network; inputs; corruptions }
+
+let honest t =
+  List.filter
+    (fun i -> not (List.mem_assoc i t.corruptions))
+    (List.init t.cfg.Config.n Fun.id)
+
+let corrupt_count t = List.length t.corruptions
+
+let honest_inputs t =
+  let inputs = Array.of_list t.inputs in
+  List.map (fun i -> inputs.(i)) (honest t)

@@ -1,0 +1,31 @@
+(** A complete experiment description: configuration, network, inputs and
+    corruptions. Running one is a pure function of this record. *)
+
+type t = {
+  name : string;
+  cfg : Config.t;
+  seed : int64;
+  policy : Engine.delay_policy;
+  sync_network : bool;
+      (** whether [policy] respects the Δ bound — decides which corruption
+          budget ([ts] or [ta]) the run is graded against *)
+  inputs : Vec.t list;  (** one per party, including corrupted ones *)
+  corruptions : (int * Behavior.t) list;  (** party id ↦ behaviour *)
+}
+
+val make :
+  ?name:string ->
+  ?seed:int64 ->
+  ?policy:Engine.delay_policy ->
+  ?sync_network:bool ->
+  ?corruptions:(int * Behavior.t) list ->
+  cfg:Config.t ->
+  inputs:Vec.t list ->
+  unit ->
+  t
+(** Defaults: worst-case synchronous lockstep policy, no corruptions.
+    @raise Invalid_argument on malformed inputs/corruptions. *)
+
+val honest : t -> int list
+val corrupt_count : t -> int
+val honest_inputs : t -> Vec.t list

@@ -1,0 +1,25 @@
+let render ~header rows =
+  let ncols = List.length header in
+  let pad_row r =
+    let len = List.length r in
+    if len >= ncols then r else r @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map pad_row rows in
+  let widths =
+    List.mapi
+      (fun c h ->
+        List.fold_left
+          (fun acc r -> max acc (String.length (List.nth r c)))
+          (String.length h) rows)
+      header
+  in
+  let fmt_row cells =
+    String.concat "  "
+      (List.map2
+         (fun w cell -> cell ^ String.make (w - String.length cell) ' ')
+         widths cells)
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (fmt_row header :: sep :: List.map fmt_row rows)
+
+let print ~header rows = print_endline (render ~header rows)

@@ -1,0 +1,8 @@
+(** Minimal aligned ASCII tables for the experiment reports. *)
+
+val render : header:string list -> string list list -> string
+(** Pads each column to its widest cell; rows shorter than the header are
+    padded with empty cells. *)
+
+val print : header:string list -> string list list -> unit
+(** [render] to stdout, followed by a newline. *)

@@ -1,0 +1,60 @@
+type klass =
+  | Init_rbc
+  | Iteration_rbc
+  | Halt_rbc
+  | Obc_reports
+  | Witness_sets
+  | Baseline
+  | Junk
+
+let klass_of = function
+  | Message.Rbc ({ tag = Message.Init_value | Message.Init_report; _ }, _, _) ->
+      Init_rbc
+  | Message.Rbc ({ tag = Message.Obc_value _; _ }, _, _) -> Iteration_rbc
+  | Message.Rbc ({ tag = Message.Halt _; _ }, _, _) -> Halt_rbc
+  | Message.Rbc ({ tag = Message.Async_value _ | Message.Async_report _; _ }, _, _)
+  | Message.Sync_round _ ->
+      Baseline
+  | Message.Obc_report _ -> Obc_reports
+  | Message.Witness_set _ -> Witness_sets
+  | Message.Junk _ -> Junk
+
+let klass_name = function
+  | Init_rbc -> "Pi_init rBC"
+  | Iteration_rbc -> "iteration rBC"
+  | Halt_rbc -> "halt rBC"
+  | Obc_reports -> "oBC reports"
+  | Witness_sets -> "witness sets"
+  | Baseline -> "baseline"
+  | Junk -> "junk"
+
+let all_klasses =
+  [ Init_rbc; Iteration_rbc; Halt_rbc; Obc_reports; Witness_sets; Baseline; Junk ]
+
+let index = function
+  | Init_rbc -> 0
+  | Iteration_rbc -> 1
+  | Halt_rbc -> 2
+  | Obc_reports -> 3
+  | Witness_sets -> 4
+  | Baseline -> 5
+  | Junk -> 6
+
+type t = { counts : int array; byte_counts : int array }
+
+let create () = { counts = Array.make 7 0; byte_counts = Array.make 7 0 }
+
+let attach t engine =
+  Engine.set_tracer engine (function
+    | Engine.Sent { msg; _ } ->
+        let i = index (klass_of msg) in
+        t.counts.(i) <- t.counts.(i) + 1;
+        t.byte_counts.(i) <- t.byte_counts.(i) + Message.size_of msg
+    | Engine.Delivered _ | Engine.Timer_fired _ -> ())
+
+let count t k = t.counts.(index k)
+let bytes t k = t.byte_counts.(index k)
+let total t = Array.fold_left ( + ) 0 t.counts
+
+let to_rows t =
+  List.map (fun k -> (klass_name k, count t k, bytes t k)) all_klasses

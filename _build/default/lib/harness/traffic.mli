@@ -1,0 +1,32 @@
+(** Per-primitive traffic accounting, built on the engine's trace hook.
+
+    Classifies every sent message by the protocol layer it belongs to, so
+    the cost experiments can report where the O(n²)s go. *)
+
+type klass =
+  | Init_rbc  (** Πinit: value and report reliable broadcasts *)
+  | Iteration_rbc  (** ΠoBC value distribution, per iteration *)
+  | Halt_rbc  (** [(halt, it)] reliable broadcasts *)
+  | Obc_reports  (** ΠoBC best-effort report sets *)
+  | Witness_sets  (** Πinit best-effort witness sets *)
+  | Baseline  (** baseline protocols' traffic *)
+  | Junk  (** adversarial noise *)
+
+val klass_of : Message.t -> klass
+val klass_name : klass -> string
+val all_klasses : klass list
+
+type t
+(** Mutable per-class counters. *)
+
+val create : unit -> t
+
+val attach : t -> Message.t Engine.t -> unit
+(** Installs the counters as the engine's tracer. *)
+
+val count : t -> klass -> int
+val bytes : t -> klass -> int
+val total : t -> int
+
+val to_rows : t -> (string * int * int) list
+(** [(class name, messages, bytes)], fixed class order. *)

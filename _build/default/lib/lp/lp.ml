@@ -1,0 +1,239 @@
+type cmp = Le | Ge | Eq
+type constr = { coeffs : (int * float) list; cmp : cmp; rhs : float }
+type result = Optimal of float * float array | Infeasible | Unbounded
+
+(* The tableau is a dense [m × (ncols + 1)] matrix, last column = rhs.
+   [basis.(i)] is the variable basic in row [i]. The objective is carried as
+   a separate priced-out row [obj] of length [ncols + 1]; [obj.(ncols)] holds
+   [−z]. Bland's rule (smallest eligible index enters, smallest basic index
+   leaves on ties) makes the solver terminate and deterministic. *)
+
+type tableau = {
+  m : int;
+  ncols : int;
+  tab : float array array;
+  basis : int array;
+  eps : float;
+}
+
+let price_out t obj =
+  for i = 0 to t.m - 1 do
+    let c = obj.(t.basis.(i)) in
+    if Float.abs c > 0. then
+      let row = t.tab.(i) in
+      for j = 0 to t.ncols do
+        obj.(j) <- obj.(j) -. (c *. row.(j))
+      done
+  done
+
+let pivot t obj ~row ~col =
+  let r = t.tab.(row) in
+  let piv = r.(col) in
+  for j = 0 to t.ncols do
+    r.(j) <- r.(j) /. piv
+  done;
+  for i = 0 to t.m - 1 do
+    if i <> row then begin
+      let f = t.tab.(i).(col) in
+      if Float.abs f > 0. then begin
+        let ri = t.tab.(i) in
+        for j = 0 to t.ncols do
+          ri.(j) <- ri.(j) -. (f *. r.(j))
+        done
+      end
+    end
+  done;
+  let f = obj.(col) in
+  if Float.abs f > 0. then
+    for j = 0 to t.ncols do
+      obj.(j) <- obj.(j) -. (f *. r.(j))
+    done;
+  t.basis.(row) <- col
+
+(* Optimise the priced-out objective [obj] over columns [< allowed].
+   Dantzig's rule (most negative reduced cost) for speed; after a stall
+   threshold the loop switches to Bland's rule with exact tie comparisons,
+   which cannot cycle. Returns [`Optimal] or [`Unbounded]. *)
+let optimise t obj ~allowed =
+  let stall = 2_000 + (20 * (t.m + t.ncols)) in
+  let cap = (20 * stall) + 200_000 in
+  let rec loop iter =
+    if iter > cap then failwith "Lp: iteration cap exceeded";
+    let bland = iter > stall in
+    let entering = ref (-1) in
+    if bland then (
+      try
+        for j = 0 to allowed - 1 do
+          if obj.(j) < -.t.eps then begin
+            entering := j;
+            raise Exit
+          end
+        done
+      with Exit -> ())
+    else begin
+      let best = ref (-.t.eps) in
+      for j = 0 to allowed - 1 do
+        if obj.(j) < !best then begin
+          best := obj.(j);
+          entering := j
+        end
+      done
+    end;
+    if !entering < 0 then `Optimal
+    else begin
+      let col = !entering in
+      let best = ref (-1) in
+      let best_ratio = ref infinity in
+      for i = 0 to t.m - 1 do
+        let a = t.tab.(i).(col) in
+        if a > t.eps then begin
+          let ratio = t.tab.(i).(t.ncols) /. a in
+          (* exact comparisons: Bland's termination argument needs true
+             ties, not eps-windows *)
+          if
+            ratio < !best_ratio
+            || (ratio = !best_ratio && !best >= 0
+               && t.basis.(i) < t.basis.(!best))
+          then begin
+            best := i;
+            best_ratio := ratio
+          end
+        end
+      done;
+      if !best < 0 then `Unbounded
+      else begin
+        pivot t obj ~row:!best ~col;
+        loop (iter + 1)
+      end
+    end
+  in
+  loop 0
+
+(* Build the tableau: structural vars, then slack/surplus, then artificials.
+   Returns the tableau together with the index where artificials start. *)
+let build ~eps ~nvars cs =
+  let m = List.length cs in
+  let n_slack =
+    List.fold_left
+      (fun acc c -> match c.cmp with Le | Ge -> acc + 1 | Eq -> acc)
+      0 cs
+  in
+  (* Worst case every row needs an artificial. *)
+  let art_start = nvars + n_slack in
+  let ncols = art_start + m in
+  let tab = Array.make_matrix m (ncols + 1) 0. in
+  let basis = Array.make m (-1) in
+  let slack = ref nvars in
+  let n_art = ref 0 in
+  List.iteri
+    (fun i c ->
+      let row = tab.(i) in
+      List.iter
+        (fun (j, v) ->
+          if j < 0 || j >= nvars then invalid_arg "Lp: variable out of range";
+          row.(j) <- row.(j) +. v)
+        c.coeffs;
+      row.(ncols) <- c.rhs;
+      let cmp = c.cmp in
+      (* Normalise to rhs ≥ 0. *)
+      let cmp =
+        if row.(ncols) < 0. then begin
+          for j = 0 to ncols do
+            row.(j) <- -.row.(j)
+          done;
+          match cmp with Le -> Ge | Ge -> Le | Eq -> Eq
+        end
+        else cmp
+      in
+      (match cmp with
+      | Le ->
+          row.(!slack) <- 1.;
+          basis.(i) <- !slack;
+          incr slack
+      | Ge ->
+          row.(!slack) <- -1.;
+          incr slack;
+          let a = art_start + !n_art in
+          row.(a) <- 1.;
+          basis.(i) <- a;
+          incr n_art
+      | Eq ->
+          let a = art_start + !n_art in
+          row.(a) <- 1.;
+          basis.(i) <- a;
+          incr n_art);
+      (* A Le row with rhs ≥ 0 uses its slack as the initial basic var. *)
+      ())
+    cs;
+  ({ m; ncols; tab; basis; eps }, art_start)
+
+(* After phase 1, drive any artificial still in the basis out of it (its
+   value is 0). If its whole row is 0 on real columns the row is redundant:
+   neutralise it so it can never pivot again. *)
+let expel_artificials t obj ~art_start =
+  for i = 0 to t.m - 1 do
+    if t.basis.(i) >= art_start then begin
+      let row = t.tab.(i) in
+      let col = ref (-1) in
+      (try
+         for j = 0 to art_start - 1 do
+           if Float.abs row.(j) > t.eps then begin
+             col := j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !col >= 0 then pivot t obj ~row:i ~col:!col
+      else
+        (* redundant row: zero it, keep the artificial basic at level 0 *)
+        for j = 0 to t.ncols do
+          if j <> t.basis.(i) then row.(j) <- 0.
+        done
+    end
+  done
+
+let phase1 ~eps ~nvars cs =
+  let t, art_start = build ~eps ~nvars cs in
+  let obj = Array.make (t.ncols + 1) 0. in
+  for j = art_start to t.ncols - 1 do
+    obj.(j) <- 1.
+  done;
+  price_out t obj;
+  (match optimise t obj ~allowed:t.ncols with
+  | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+  | `Optimal -> ());
+  let z = -.obj.(t.ncols) in
+  (* infeasibility tolerance scales with problem size a little *)
+  if z > eps *. 1e3 *. float_of_int (max 1 t.m) then None
+  else begin
+    expel_artificials t obj ~art_start;
+    Some (t, art_start)
+  end
+
+let extract t ~nvars =
+  let x = Array.make nvars 0. in
+  for i = 0 to t.m - 1 do
+    let b = t.basis.(i) in
+    if b < nvars then x.(b) <- t.tab.(i).(t.ncols)
+  done;
+  x
+
+let solve ?(eps = 1e-9) ~nvars ~minimize ~objective cs =
+  match phase1 ~eps ~nvars cs with
+  | None -> Infeasible
+  | Some (t, art_start) ->
+      let obj = Array.make (t.ncols + 1) 0. in
+      let sign = if minimize then 1. else -1. in
+      List.iter (fun (j, v) -> obj.(j) <- obj.(j) +. (sign *. v)) objective;
+      price_out t obj;
+      (match optimise t obj ~allowed:art_start with
+      | `Unbounded -> Unbounded
+      | `Optimal ->
+          let x = extract t ~nvars in
+          let z = -.obj.(t.ncols) in
+          Optimal ((if minimize then z else -.z), x))
+
+let feasible_point ?(eps = 1e-9) ~nvars cs =
+  match phase1 ~eps ~nvars cs with
+  | None -> None
+  | Some (t, _) -> Some (extract t ~nvars)

@@ -1,0 +1,40 @@
+(** A small, dependency-free linear-programming solver.
+
+    Dense two-phase primal simplex with Bland's anti-cycling rule. All
+    structural variables are constrained to be non-negative; callers model a
+    free variable [y] as the difference [y⁺ − y⁻] of two variables.
+
+    The solver is deterministic: identical problems yield identical optimal
+    bases and solutions, which the agreement protocol relies on (parties
+    recompute each other's values and must agree bit-for-bit). *)
+
+type cmp = Le | Ge | Eq
+
+type constr = { coeffs : (int * float) list; cmp : cmp; rhs : float }
+(** A row [Σ coeffs·x  cmp  rhs]. Variable indices are 0-based and must be
+    [< nvars]. Repeated indices in [coeffs] are summed. *)
+
+type result =
+  | Optimal of float * float array
+      (** Objective value and an optimal assignment of the [nvars]
+          structural variables. *)
+  | Infeasible
+  | Unbounded
+
+val solve :
+  ?eps:float ->
+  nvars:int ->
+  minimize:bool ->
+  objective:(int * float) list ->
+  constr list ->
+  result
+(** [solve ~nvars ~minimize ~objective cs] optimises [objective] over
+    [{x ≥ 0 : cs}]. [eps] (default [1e-9]) is the numerical tolerance used
+    for pivoting and feasibility decisions.
+
+    @raise Failure if the iteration cap is exceeded, which indicates a
+    numerically degenerate instance rather than a user error. *)
+
+val feasible_point :
+  ?eps:float -> nvars:int -> constr list -> float array option
+(** Phase-1 only: some point of the polyhedron, or [None] if empty. *)

@@ -1,0 +1,1 @@
+lib/maaa/config.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/maaa/config.mli: Format

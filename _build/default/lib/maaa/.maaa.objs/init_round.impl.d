@@ -1,0 +1,1 @@
+lib/maaa/init_round.ml: Float Int List Map Message Pairset Params Safe_area Set Vec

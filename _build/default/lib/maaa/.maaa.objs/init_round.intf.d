@@ -1,0 +1,1 @@
+lib/maaa/init_round.mli: Message Pairset Vec

@@ -1,0 +1,1 @@
+lib/maaa/maaa.ml: Array Config Engine Fun List Message Network Option Party Printf Vec

@@ -1,0 +1,1 @@
+lib/maaa/maaa.mli: Config Engine Vec

@@ -1,0 +1,1 @@
+lib/maaa/party.ml: Config Engine Hashtbl Init_round List Message Obc Option Pairset Params Rbc Safe_area Vec

@@ -1,0 +1,1 @@
+lib/maaa/party.mli: Config Engine Message Vec

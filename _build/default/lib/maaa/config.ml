@@ -1,0 +1,27 @@
+type t = { n : int; ts : int; ta : int; d : int; eps : float; delta : int }
+
+let feasible ~n ~ts ~ta ~d =
+  0 <= ta && ta <= ts && ((d + 1) * ts) + ta < n && n > 3 * ts
+
+let make ~n ~ts ~ta ~d ~eps ~delta =
+  if d < 1 then Error "dimension must be at least 1"
+  else if n < 1 then Error "need at least one party"
+  else if eps <= 0. then Error "epsilon must be positive"
+  else if delta < 1 then Error "delta must be at least one tick"
+  else if ta < 0 || ta > ts then Error "need 0 <= ta <= ts"
+  else if ((d + 1) * ts) + ta >= n then
+    Error
+      (Printf.sprintf "resilience violated: need (D+1)*ts + ta < n, got %d >= %d"
+         (((d + 1) * ts) + ta) n)
+  else if n <= 3 * ts then
+    Error "reliable broadcast needs n > 3*ts (binding only for D = 1)"
+  else Ok { n; ts; ta; d; eps; delta }
+
+let make_exn ~n ~ts ~ta ~d ~eps ~delta =
+  match make ~n ~ts ~ta ~d ~eps ~delta with
+  | Ok c -> c
+  | Error e -> invalid_arg ("Config: " ^ e)
+
+let pp ppf c =
+  Format.fprintf ppf "n=%d ts=%d ta=%d D=%d eps=%g delta=%d" c.n c.ts c.ta c.d
+    c.eps c.delta

@@ -1,0 +1,30 @@
+(** Protocol parameters and their validity conditions.
+
+    The paper's feasibility condition is [(D + 1)·ts + ta < n] (Theorem
+    5.19); reliable broadcast additionally needs [n > 3·ts], which is
+    implied whenever [D ≥ 2] but binds for [D = 1] (where the paper points
+    out that optimal resilience would need a PKI, which this implementation
+    does not assume). *)
+
+type t = private {
+  n : int;  (** number of parties *)
+  ts : int;  (** corruption bound under synchrony *)
+  ta : int;  (** corruption bound under asynchrony, [ta ≤ ts] *)
+  d : int;  (** dimension [D] *)
+  eps : float;  (** agreement parameter ε *)
+  delta : int;  (** synchrony bound Δ, in simulator ticks *)
+}
+
+val make :
+  n:int -> ts:int -> ta:int -> d:int -> eps:float -> delta:int ->
+  (t, string) result
+
+val make_exn :
+  n:int -> ts:int -> ta:int -> d:int -> eps:float -> delta:int -> t
+(** @raise Invalid_argument when the parameters are infeasible. *)
+
+val feasible : n:int -> ts:int -> ta:int -> d:int -> bool
+(** The resilience condition alone: [(D+1)·ts + ta < n], [0 ≤ ta ≤ ts],
+    and [n > 3·ts]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,279 @@
+type callbacks = {
+  on_iteration : iter:int -> Vec.t -> unit;
+  on_output : iter:int -> Vec.t -> unit;
+}
+
+let no_callbacks = { on_iteration = (fun ~iter:_ _ -> ()); on_output = (fun ~iter:_ _ -> ()) }
+
+type mode = Estimate | Fixed_t of int
+
+type t = {
+  cfg : Config.t;
+  me : int;
+  mode : mode;
+  cbs : callbacks;
+  now : unit -> int;
+  send_all : Message.t -> unit;
+  set_timer : at:int -> unit;
+  mutable rbc : Rbc.t option;  (* set right after creation; never None in use *)
+  mutable init : Init_round.t option;
+  obcs : (int, Obc.t) Hashtbl.t;
+  history : (int, Vec.t) Hashtbl.t;
+  halts : (int, int) Hashtbl.t;  (* origin -> halt iteration (first per origin) *)
+  buffered_values : (int, (int * Vec.t) list ref) Hashtbl.t;
+  buffered_reports : (int, (int * (int * Vec.t) list) list ref) Hashtbl.t;
+  mutable iter : int;  (* 0 while in Πinit *)
+  mutable iter_start : int;
+  mutable pending_value : Vec.t option;
+  mutable t_estimate : int option;
+  mutable output : Vec.t option;
+  mutable output_iter : int option;
+  mutable output_time : int option;
+  mutable sent_halt : bool;
+  mutable started : bool;
+}
+
+let me t = t.me
+let output t = t.output
+let output_iteration t = t.output_iter
+let output_time t = t.output_time
+let current_iteration t = t.iter
+let iteration_estimate t = t.t_estimate
+
+let value_history t =
+  Hashtbl.fold (fun it v acc -> (it, v) :: acc) t.history []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let rbc t = Option.get t.rbc
+
+let buffer tbl key item =
+  match Hashtbl.find_opt tbl key with
+  | Some l -> l := item :: !l
+  | None -> Hashtbl.add tbl key (ref [ item ])
+
+let drain tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some l ->
+      Hashtbl.remove tbl key;
+      List.rev !l
+  | None -> []
+
+(* One halt per origin: a Byzantine party must not be able to inject
+   several low-iteration halts and control the (ts+1)-th smallest. *)
+let record_halt t ~origin it =
+  if not (Hashtbl.mem t.halts origin) then Hashtbl.add t.halts origin it
+
+let try_halt_output t =
+  if t.output = None && t.iter >= 1 then begin
+    let earlier =
+      Hashtbl.fold (fun _ it acc -> if it < t.iter then it :: acc else acc) t.halts []
+      |> List.sort compare
+    in
+    if List.length earlier >= t.cfg.ts + 1 then begin
+      let it_h = List.nth earlier t.cfg.ts in
+      match Hashtbl.find_opt t.history it_h with
+      | Some v ->
+          t.output <- Some v;
+          t.output_iter <- Some it_h;
+          t.output_time <- Some (t.now ());
+          t.cbs.on_output ~iter:it_h v
+      | None -> ()
+    end
+  end
+
+let rec join_iteration t it =
+  t.iter <- it;
+  t.iter_start <- t.now ();
+  t.pending_value <- None;
+  let obc =
+    Obc.create ~n:t.cfg.n ~ts:t.cfg.ts ~delta:t.cfg.delta ~iter:it
+      {
+        Obc.now = t.now;
+        set_timer = t.set_timer;
+        rbc_broadcast =
+          (fun payload ->
+            Rbc.broadcast (rbc t)
+              { Message.tag = Message.Obc_value it; origin = t.me }
+              payload);
+        send_all = t.send_all;
+        output = (fun mset -> on_obc_output t it mset);
+      }
+  in
+  Hashtbl.replace t.obcs it obc;
+  List.iter (fun (origin, v) -> Obc.on_value obc ~origin v) (drain t.buffered_values it);
+  List.iter (fun (from, pairs) -> Obc.on_report obc ~from pairs) (drain t.buffered_reports it);
+  Obc.start obc (Hashtbl.find t.history (it - 1));
+  t.set_timer ~at:(t.iter_start + (Params.c_aa_it * t.cfg.delta) + 1);
+  try_advance t
+
+and on_obc_output t it mset =
+  if t.output = None && t.iter = it && t.pending_value = None then begin
+    let k = Pairset.cardinal mset - (t.cfg.n - t.cfg.ts) in
+    let trim = max k t.cfg.ta in
+    match Safe_area.new_value ~t:trim (Pairset.values mset) with
+    | Some v ->
+        t.pending_value <- Some v;
+        try_advance t
+    | None ->
+        (* Lemma 5.5 rules this out whenever ΠoBC's overlap guarantees
+           hold, i.e. in every honest execution within the thresholds. *)
+        assert false
+  end
+
+(* Lines 5-11 of ΠAA: once the iteration's new value is known and at least
+   c_AA-it·Δ local time has passed, adopt it, halt if this is our estimated
+   iteration, output if enough halts are in, else move on. *)
+and try_advance t =
+  if t.output = None && t.iter >= 1 then begin
+    try_halt_output t;
+    if t.output = None then
+      match t.pending_value with
+      | Some v when t.now () > t.iter_start + (Params.c_aa_it * t.cfg.delta)
+        ->
+          let completed = t.iter in
+          Hashtbl.replace t.history completed v;
+          t.cbs.on_iteration ~iter:completed v;
+          if (not t.sent_halt) && Some completed = t.t_estimate then begin
+            t.sent_halt <- true;
+            Rbc.broadcast (rbc t)
+              { Message.tag = Message.Halt completed; origin = t.me }
+              (Message.Pint completed)
+          end;
+          try_halt_output t;
+          if t.output = None then join_iteration t (completed + 1)
+      | _ -> ()
+  end
+
+let on_init_output t tt v0 =
+  Hashtbl.replace t.history 0 v0;
+  t.t_estimate <- Some tt;
+  t.cbs.on_iteration ~iter:0 v0;
+  join_iteration t 1
+
+(* Dispatch of reliable-broadcast deliveries by instance tag. *)
+let on_rbc_deliver t (id : Message.rbc_id) payload =
+  match (id.tag, payload) with
+  | Message.Init_value, Message.Pvec v -> (
+      match t.init with
+      | Some i when not (Init_round.has_output i) ->
+          Init_round.on_value i ~origin:id.origin v
+      | _ -> ())
+  | Message.Init_report, Message.Ppairs pairs -> (
+      match t.init with
+      | Some i when not (Init_round.has_output i) ->
+          Init_round.on_report i ~origin:id.origin pairs
+      | _ -> ())
+  | Message.Obc_value it, Message.Pvec v ->
+      if t.output = None then begin
+        match Hashtbl.find_opt t.obcs it with
+        | Some obc -> Obc.on_value obc ~origin:id.origin v
+        | None -> if it > t.iter then buffer t.buffered_values it (id.origin, v)
+      end
+  | Message.Halt it, _ ->
+      record_halt t ~origin:id.origin it;
+      try_halt_output t
+  | _ -> ()
+
+let create ?(callbacks = no_callbacks) ?(mode = Estimate) ~cfg ~me ~now
+    ~send_all ~set_timer () =
+  let t =
+    {
+      cfg;
+      me;
+      mode;
+      cbs = callbacks;
+      now;
+      send_all;
+      set_timer;
+      rbc = None;
+      init = None;
+      obcs = Hashtbl.create 8;
+      history = Hashtbl.create 16;
+      halts = Hashtbl.create 8;
+      buffered_values = Hashtbl.create 8;
+      buffered_reports = Hashtbl.create 8;
+      iter = 0;
+      iter_start = 0;
+      pending_value = None;
+      t_estimate = None;
+      output = None;
+      output_iter = None;
+      output_time = None;
+      sent_halt = false;
+      started = false;
+    }
+  in
+  t.rbc <-
+    Some
+      (Rbc.create ~n:cfg.Config.n ~t:cfg.Config.ts
+         { Rbc.send_all; deliver = (fun id payload -> on_rbc_deliver t id payload) });
+  t.init <-
+    Some
+      (Init_round.create ~n:cfg.Config.n ~ts:cfg.Config.ts ~ta:cfg.Config.ta
+         ~delta:cfg.Config.delta ~eps:cfg.Config.eps
+         {
+           Init_round.now;
+           set_timer;
+           rbc_broadcast =
+             (fun tag payload ->
+               Rbc.broadcast (rbc t) { Message.tag; origin = me } payload);
+           send_all;
+           output = (fun tt v0 -> on_init_output t tt v0);
+         });
+  t
+
+let start t v =
+  if t.started then invalid_arg "Party.start: already started";
+  if Vec.dim v <> t.cfg.d then invalid_arg "Party.start: wrong dimension";
+  t.started <- true;
+  match t.mode with
+  | Estimate -> Init_round.start (Option.get t.init) v
+  | Fixed_t tt ->
+      (* known-bounds variant: the input itself seeds iteration 1 *)
+      if tt < 1 then invalid_arg "Party.start: Fixed_t needs T >= 1";
+      t.init <- None;
+      on_init_output t tt v
+
+let poke t =
+  (match t.init with
+  | Some i when not (Init_round.has_output i) -> Init_round.poke i
+  | _ -> ());
+  (if t.output = None && t.iter >= 1 then
+     match Hashtbl.find_opt t.obcs t.iter with
+     | Some obc -> Obc.poke obc
+     | None -> ());
+  if t.iter >= 1 then try_advance t
+
+let handle t (ev : Message.t Engine.event) =
+  match ev with
+  | Engine.Timer _ -> poke t
+  | Engine.Deliver { src; msg } -> (
+      match msg with
+      | Message.Rbc (id, step, payload) ->
+          Rbc.on_message (rbc t) ~from:src id step payload;
+          (* a delivery may have unblocked a time-gated guard *)
+          if t.iter >= 1 then try_advance t
+      | Message.Obc_report { iter; pairs } ->
+          if t.output = None then begin
+            match Hashtbl.find_opt t.obcs iter with
+            | Some obc -> Obc.on_report obc ~from:src pairs
+            | None ->
+                if iter > t.iter then buffer t.buffered_reports iter (src, pairs)
+          end
+      | Message.Witness_set ws -> (
+          match t.init with
+          | Some i when not (Init_round.has_output i) ->
+              Init_round.on_witness_set i ~from:src ws
+          | _ -> ())
+      | Message.Sync_round _ | Message.Junk _ -> ())
+
+let attach ?callbacks ?mode ~cfg ~me engine =
+  let t =
+    create ?callbacks ?mode ~cfg ~me
+      ~now:(fun () -> Engine.now engine)
+      ~send_all:(fun msg -> Engine.broadcast engine ~src:me msg)
+      ~set_timer:(fun ~at -> Engine.set_timer engine ~party:me ~at ~tag:0)
+      ()
+  in
+  Engine.set_party engine me (handle t);
+  t

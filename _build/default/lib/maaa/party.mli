@@ -1,0 +1,78 @@
+(** An honest party running the full hybrid protocol ΠAA (Section 5).
+
+    The party first runs {!Init_round} to obtain [(T, v0)], then iterates
+    {!Obc}-based ΠAA-it rounds: distribute the current value, trim
+    [max(k, ta)] outliers via the safe area, adopt the midpoint of the
+    safe area's diameter pair. At iteration [T] it reliably broadcasts
+    [(halt, T)]; it outputs [v_{it_h}] — where [it_h] is the [(ts+1)]-th
+    smallest halt iteration received (counting one halt per origin) — once
+    [ts + 1] halts from earlier iterations are in, and then stops joining
+    iterations. The reliable-broadcast layer keeps running after output so
+    other parties retain its echo/ready amplification, which the paper's
+    Conditional Liveness arguments rely on.
+
+    The party is driven entirely by simulator events: wire {!handle} into
+    an {!Engine} with [Engine.set_party] (or use {!attach}) and call
+    {!start} at the party's (local) starting time. *)
+
+type t
+
+type callbacks = {
+  on_iteration : iter:int -> Vec.t -> unit;
+      (** fired when [v_iter] is adopted (iteration completed); also fired
+          with [iter = 0] for the Πinit output [v0] *)
+  on_output : iter:int -> Vec.t -> unit;  (** fired once, on ΠAA output *)
+}
+
+val no_callbacks : callbacks
+
+type mode =
+  | Estimate  (** the paper's protocol: run Πinit to obtain [(T, v0)] *)
+  | Fixed_t of int
+      (** the known-input-bounds variant of the prior work the paper
+          departs from ([20, 29]): skip Πinit, start the iterations from
+          the party's own input and halt at the given [T]. Cheaper by
+          [c_init] rounds and the Πinit traffic — but correct only if the
+          supplied [T] really covers the honest inputs' spread, which is
+          exactly what experiment E16 probes. *)
+
+val create :
+  ?callbacks:callbacks ->
+  ?mode:mode ->
+  cfg:Config.t ->
+  me:int ->
+  now:(unit -> int) ->
+  send_all:(Message.t -> unit) ->
+  set_timer:(at:int -> unit) ->
+  unit ->
+  t
+
+val attach :
+  ?callbacks:callbacks ->
+  ?mode:mode ->
+  cfg:Config.t ->
+  me:int ->
+  Message.t Engine.t ->
+  t
+(** Creates the party wired to the engine and registers its handler.
+    [mode] defaults to [Estimate]. *)
+
+val start : t -> Vec.t -> unit
+(** Join the protocol with input [v] (dimension must match the config). *)
+
+val handle : t -> Message.t Engine.event -> unit
+
+(* -- observers, used by the harness and the experiments -- *)
+
+val me : t -> int
+val output : t -> Vec.t option
+val output_iteration : t -> int option
+val output_time : t -> int option
+val current_iteration : t -> int
+(** 0 while still in Πinit. *)
+
+val iteration_estimate : t -> int option
+(** The [T] obtained from Πinit. *)
+
+val value_history : t -> (int * Vec.t) list
+(** [(it, v_it)] pairs, [it = 0] being the Πinit output, ascending. *)

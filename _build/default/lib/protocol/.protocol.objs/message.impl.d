@@ -1,0 +1,1 @@
+lib/protocol/message.ml: Format List Vec

@@ -1,0 +1,61 @@
+type tag =
+  | Init_value
+  | Init_report
+  | Obc_value of int
+  | Halt of int
+  | Async_value of int
+  | Async_report of int
+
+type rbc_id = { tag : tag; origin : int }
+
+type payload =
+  | Pvec of Vec.t
+  | Ppairs of (int * Vec.t) list
+  | Pint of int
+  | Pparties of int list
+
+type step = Init | Echo | Ready
+
+type t =
+  | Rbc of rbc_id * step * payload
+  | Obc_report of { iter : int; pairs : (int * Vec.t) list }
+  | Witness_set of int list
+  | Sync_round of { round : int; value : Vec.t }
+  | Junk of int
+
+let size_of_payload = function
+  | Pvec v -> 8 * Vec.dim v
+  | Ppairs ps ->
+      List.fold_left (fun acc (_, v) -> acc + 4 + (8 * Vec.dim v)) 0 ps
+  | Pint _ -> 8
+  | Pparties ps -> 4 * List.length ps
+
+let size_of = function
+  | Rbc (_, _, p) -> 16 + size_of_payload p
+  | Obc_report { pairs; _ } -> 16 + size_of_payload (Ppairs pairs)
+  | Witness_set ps -> 16 + (4 * List.length ps)
+  | Sync_round { value; _ } -> 16 + (8 * Vec.dim value)
+  | Junk n -> 16 + n
+
+let pp_tag ppf = function
+  | Init_value -> Format.fprintf ppf "init-value"
+  | Init_report -> Format.fprintf ppf "init-report"
+  | Obc_value it -> Format.fprintf ppf "obc[%d]" it
+  | Halt it -> Format.fprintf ppf "halt[%d]" it
+  | Async_value it -> Format.fprintf ppf "async-value[%d]" it
+  | Async_report it -> Format.fprintf ppf "async-report[%d]" it
+
+let pp_step ppf = function
+  | Init -> Format.fprintf ppf "init"
+  | Echo -> Format.fprintf ppf "echo"
+  | Ready -> Format.fprintf ppf "ready"
+
+let pp ppf = function
+  | Rbc (id, step, _) ->
+      Format.fprintf ppf "rbc(%a from P%d, %a)" pp_tag id.tag id.origin
+        pp_step step
+  | Obc_report { iter; pairs } ->
+      Format.fprintf ppf "obc-report[%d] (%d pairs)" iter (List.length pairs)
+  | Witness_set ps -> Format.fprintf ppf "witness-set (%d)" (List.length ps)
+  | Sync_round { round; _ } -> Format.fprintf ppf "sync-round[%d]" round
+  | Junk n -> Format.fprintf ppf "junk(%d)" n

@@ -1,0 +1,41 @@
+(** The on-the-wire message type shared by every protocol in this
+    repository.
+
+    Sub-protocol instances are identified by an {!rbc_id}: a {!tag} naming
+    the purpose (and, where applicable, the iteration) plus the [origin] —
+    the designated sender of that reliable-broadcast instance. This plays
+    the role of the "identification numbers" the paper attaches to messages
+    and then omits for presentation. *)
+
+type tag =
+  | Init_value  (** Πinit: input distribution *)
+  | Init_report  (** Πinit: reliably-broadcast report sets *)
+  | Obc_value of int  (** ΠoBC value distribution in iteration [it] *)
+  | Halt of int  (** ΠAA: [(halt, it)] messages *)
+  | Async_value of int  (** pure-async baseline: iteration values *)
+  | Async_report of int  (** pure-async baseline: witness reports *)
+
+type rbc_id = { tag : tag; origin : int }
+
+type payload =
+  | Pvec of Vec.t
+  | Ppairs of (int * Vec.t) list  (** value–party pairs, by party id *)
+  | Pint of int
+  | Pparties of int list
+
+type step = Init | Echo | Ready
+(** Bracha's three message kinds. *)
+
+type t =
+  | Rbc of rbc_id * step * payload
+  | Obc_report of { iter : int; pairs : (int * Vec.t) list }
+      (** ΠoBC's best-effort report (line 6 of the protocol) *)
+  | Witness_set of int list  (** Πinit line 13: best-effort witness sets *)
+  | Sync_round of { round : int; value : Vec.t }
+      (** pure-synchronous baseline: round-[r] value exchange *)
+  | Junk of int  (** adversarial noise *)
+
+val size_of : t -> int
+(** Approximate serialised size in bytes, for traffic accounting. *)
+
+val pp : Format.formatter -> t -> unit

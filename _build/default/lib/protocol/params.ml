@@ -1,0 +1,6 @@
+let c_rbc = 3
+let c_rbc' = 2
+let c_obc = c_rbc + c_rbc'
+let c_aa_it = c_obc
+let c_init = (2 * c_rbc) + c_rbc'
+let conv_factor = sqrt (7. /. 8.)

@@ -1,0 +1,19 @@
+(** The paper's round-count constants (Theorems 4.2, 4.4; Section 5). *)
+
+val c_rbc : int
+(** [c_rBC = 3]: an honest reliable broadcast completes within [3Δ]. *)
+
+val c_rbc' : int
+(** [c'_rBC = 2]: once one honest party delivers, all do within [2Δ]. *)
+
+val c_obc : int
+(** [c_oBC = c_rBC + c'_rBC = 5]: synchronous ΠoBC completion. *)
+
+val c_aa_it : int
+(** [c_AA-it = 5]: one synchronous iteration of ΠAA-it. *)
+
+val c_init : int
+(** [c_init = 2·c_rBC + c'_rBC = 8]: synchronous Πinit completion. *)
+
+val conv_factor : float
+(** [√(7/8)], the per-iteration contraction factor (Lemma 5.15). *)

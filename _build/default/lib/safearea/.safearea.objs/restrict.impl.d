@@ -1,0 +1,1 @@
+lib/safearea/restrict.ml: List

@@ -1,0 +1,1 @@
+lib/safearea/safe_area.ml: Array Float Hullset List Option Polygon Restrict Vec

@@ -1,0 +1,1 @@
+lib/safearea/safe_area.mli: Hullset Polygon Vec

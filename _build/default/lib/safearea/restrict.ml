@@ -1,0 +1,39 @@
+let max_subsets = 100_000
+
+let count ~m ~t =
+  if t < 0 || t > m then 0
+  else begin
+    let t = min t (m - t) in
+    let acc = ref 1 in
+    (try
+       for i = 1 to t do
+         let next = !acc * (m - t + i) / i in
+         if next < !acc then begin
+           (* overflow *)
+           acc := max_int;
+           raise Exit
+         end;
+         acc := next
+       done
+     with Exit -> ());
+    !acc
+  end
+
+let subsets ~t l =
+  let m = List.length l in
+  if t < 0 || t > m then invalid_arg "Restrict.subsets: bad t";
+  if count ~m ~t > max_subsets then
+    invalid_arg "Restrict.subsets: family too large";
+  let keep = m - t in
+  (* All order-preserving sublists of length [keep]. *)
+  let rec go k xs =
+    if k = 0 then [ [] ]
+    else
+      match xs with
+      | [] -> []
+      | x :: rest ->
+          let with_x = List.map (fun s -> x :: s) (go (k - 1) rest) in
+          let without_x = if List.length rest >= k then go k rest else [] in
+          with_x @ without_x
+  in
+  go keep l

@@ -1,0 +1,71 @@
+type t =
+  | Interval of { lo : float; hi : float }
+  | Planar of Polygon.t
+  | Implicit of Hullset.t
+
+let compute_1d ~t vs =
+  let s = List.sort Float.compare (List.map (fun v -> Vec.get v 0) vs) in
+  let arr = Array.of_list s in
+  let m = Array.length arr in
+  (* The intersection's lower end is the largest attainable subset minimum,
+     reached by dropping the [t] smallest values; symmetrically above. *)
+  let lo = arr.(t) and hi = arr.(m - 1 - t) in
+  if lo > hi then None else Some (Interval { lo; hi })
+
+let compute_2d ~t vs =
+  let polys =
+    Restrict.subsets ~t vs |> List.map (fun sub -> Polygon.of_points sub)
+  in
+  Option.map (fun p -> Planar p) (Polygon.inter_all polys)
+
+let compute_nd ~t vs =
+  let hs = Hullset.make (Restrict.subsets ~t vs) in
+  if Hullset.is_empty hs then None else Some (Implicit hs)
+
+let compute ~t vs =
+  (match vs with [] -> invalid_arg "Safe_area.compute: empty multiset" | _ -> ());
+  let m = List.length vs in
+  if t < 0 || t >= m then invalid_arg "Safe_area.compute: need 0 <= t < |M|";
+  (* Canonicalise the multiset order so the result — including its floating
+     point noise — is independent of the order values were received in. *)
+  let vs = List.sort Vec.compare vs in
+  match Vec.dim (List.hd vs) with
+  | 1 -> compute_1d ~t vs
+  | 2 -> compute_2d ~t vs
+  | _ -> compute_nd ~t vs
+
+let contains ?(eps = 1e-9) area p =
+  match area with
+  | Interval { lo; hi } ->
+      let x = Vec.get p 0 in
+      x >= lo -. eps && x <= hi +. eps
+  | Planar poly -> Polygon.contains ~eps poly p
+  | Implicit hs -> Hullset.contains ~eps hs p
+
+let diameter_pair = function
+  | Interval { lo; hi } -> (Vec.of_list [ lo ], Vec.of_list [ hi ])
+  | Planar poly -> Polygon.diameter_pair poly
+  | Implicit hs -> (
+      match Hullset.diameter_pair hs with
+      | Some pair -> pair
+      | None -> assert false (* Implicit areas are non-empty by construction *))
+
+let diameter area =
+  let a, b = diameter_pair area in
+  Vec.dist a b
+
+let midpoint_value area =
+  let a, b = diameter_pair area in
+  Vec.midpoint a b
+
+let new_value ~t vs = Option.map midpoint_value (compute ~t vs)
+
+let interior_point = function
+  | Interval { lo; hi } -> Vec.of_list [ (lo +. hi) /. 2. ]
+  | Planar poly -> Vec.centroid (Polygon.vertices poly)
+  | Implicit hs -> (
+      match Hullset.find_point hs with
+      | Some p -> p
+      | None -> assert false (* Implicit areas are non-empty *))
+
+let centroid_value = interior_point

@@ -1,0 +1,55 @@
+(** The safe area [safe_t(M)] of Definition 5.1 and the protocol's
+    new-value rule.
+
+    [safe_t(M) = ⋂ { convex(M') : M' ⊆ M, |M'| = |M| − t }] is the region
+    guaranteed to lie inside the convex hull of the honest values of [M]
+    whenever at most [t] of them are adversarial. The representation is
+    exact for dimensions 1 and 2 (order statistics, convex polygon
+    clipping) and implicit (LP-backed, see {!Hullset}) for [D ≥ 3]; the
+    [D ≥ 3] diameter is a deterministic convergent approximation, as
+    documented in DESIGN.md.
+
+    Every operation is deterministic: parties recomputing a safe area from
+    the same multiset obtain bit-identical results, which Πinit's
+    estimation consistency relies on. *)
+
+type t =
+  | Interval of { lo : float; hi : float }  (** [D = 1] *)
+  | Planar of Polygon.t  (** [D = 2] *)
+  | Implicit of Hullset.t  (** [D ≥ 3]; known non-empty *)
+
+val compute : t:int -> Vec.t list -> t option
+(** [compute ~t vs] is [safe_t(vs)], or [None] when the intersection is
+    empty. [vs] is the multiset [val(M)] (duplicates allowed and
+    meaningful).
+
+    @raise Invalid_argument if [vs] is empty, [t < 0], [t ≥ length vs], or
+    the subset family exceeds {!Restrict.max_subsets}. *)
+
+val contains : ?eps:float -> t -> Vec.t -> bool
+
+val diameter_pair : t -> Vec.t * Vec.t
+(** The deterministic pair [(a, b)] realizing (for [D ≤ 2]: exactly; for
+    [D ≥ 3]: approximately, see DESIGN.md) the diameter of the area, with
+    the paper's lexicographic tie-break. *)
+
+val diameter : t -> float
+
+val midpoint_value : t -> Vec.t
+(** [(a + b) / 2] for [(a, b) = diameter_pair]; the value an honest party
+    adopts in ΠAA-it (and the estimation rule of Πinit). Guaranteed to lie
+    in the area (Lemma 5.6). *)
+
+val new_value : t:int -> Vec.t list -> Vec.t option
+(** [new_value ~t vs = Option.map midpoint_value (compute ~t vs)]:
+    the complete "trim and average" step of one iteration. *)
+
+val interior_point : t -> Vec.t
+(** Some deterministic point of the area (used by the ablations; the
+    protocol itself uses {!midpoint_value}). *)
+
+val centroid_value : t -> Vec.t
+(** The ablated update rule of DESIGN.md §4: the centroid of the area's
+    known extreme points ([D ≤ 2]) or a deterministic interior point
+    ([D ≥ 3]). Valid (stays inside the area) but comes without the
+    paper's [√(7/8)] contraction constant; E7 measures the difference. *)

@@ -1,0 +1,135 @@
+type time = int
+
+type 'msg event = Deliver of { src : int; msg : 'msg } | Timer of int
+type delay_policy = rng:Rng.t -> now:time -> src:int -> dst:int -> time
+
+type 'msg item = { at : time; seq : int; target : int; ev : 'msg event }
+
+type stats = {
+  messages_sent : int;
+  bytes_sent : int;
+  messages_delivered : int;
+  final_time : time;
+  events_processed : int;
+}
+
+type 'msg trace_event =
+  | Sent of { src : int; dst : int; at : time; deliver_at : time; msg : 'msg }
+  | Delivered of { src : int; dst : int; at : time; msg : 'msg }
+  | Timer_fired of { party : int; at : time; tag : int }
+
+type 'msg t = {
+  n : int;
+  policy : delay_policy;
+  rng : Rng.t;
+  size_of : 'msg -> int;
+  queue : 'msg item Heap.t;
+  handlers : ('msg event -> unit) option array;
+  mutable tracer : ('msg trace_event -> unit) option;
+  mutable now : time;
+  mutable seq : int;
+  mutable messages_sent : int;
+  mutable bytes_sent : int;
+  mutable messages_delivered : int;
+  mutable events_processed : int;
+}
+
+let cmp_item a b =
+  let c = compare a.at b.at in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create ?(seed = 0x5eedL) ?(size_of = fun _ -> 0) ~n ~policy () =
+  if n <= 0 then invalid_arg "Engine.create: n must be positive";
+  {
+    n;
+    policy;
+    rng = Rng.create seed;
+    size_of;
+    queue = Heap.create ~cmp:cmp_item;
+    handlers = Array.make n None;
+    tracer = None;
+    now = 0;
+    seq = 0;
+    messages_sent = 0;
+    bytes_sent = 0;
+    messages_delivered = 0;
+    events_processed = 0;
+  }
+
+let n t = t.n
+let now t = t.now
+let rng t = t.rng
+
+let set_party t i handler =
+  if i < 0 || i >= t.n then invalid_arg "Engine.set_party: bad party";
+  t.handlers.(i) <- Some handler
+
+let clear_party t i = t.handlers.(i) <- None
+
+let push t ~at ~target ev =
+  let at = max at t.now in
+  t.seq <- t.seq + 1;
+  Heap.push t.queue { at; seq = t.seq; target; ev }
+
+let send t ~src ~dst msg =
+  if dst < 0 || dst >= t.n then invalid_arg "Engine.send: bad destination";
+  let delay = max 1 (t.policy ~rng:t.rng ~now:t.now ~src ~dst) in
+  t.messages_sent <- t.messages_sent + 1;
+  t.bytes_sent <- t.bytes_sent + t.size_of msg;
+  let deliver_at = t.now + delay in
+  (match t.tracer with
+  | Some f -> f (Sent { src; dst; at = t.now; deliver_at; msg })
+  | None -> ());
+  push t ~at:deliver_at ~target:dst (Deliver { src; msg })
+
+let broadcast t ~src msg =
+  for dst = 0 to t.n - 1 do
+    send t ~src ~dst msg
+  done
+
+let set_timer t ~party ~at ~tag =
+  if party < 0 || party >= t.n then invalid_arg "Engine.set_timer: bad party";
+  push t ~at ~target:party (Timer tag)
+
+let quiescent t = Heap.is_empty t.queue
+
+let run ?until ?(max_events = 10_000_000) t =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.queue with
+    | None -> continue := false
+    | Some { at; _ } when (match until with Some u -> at > u | None -> false)
+      ->
+        continue := false
+    | Some _ ->
+        let item = Option.get (Heap.pop t.queue) in
+        t.now <- max t.now item.at;
+        t.events_processed <- t.events_processed + 1;
+        if t.events_processed > max_events then
+          failwith "Engine.run: max_events exceeded (run-away protocol?)";
+        (match item.ev with
+        | Deliver { src; msg } ->
+            t.messages_delivered <- t.messages_delivered + 1;
+            (match t.tracer with
+            | Some f -> f (Delivered { src; dst = item.target; at = t.now; msg })
+            | None -> ())
+        | Timer tag -> (
+            match t.tracer with
+            | Some f -> f (Timer_fired { party = item.target; at = t.now; tag })
+            | None -> ()));
+        (match t.handlers.(item.target) with
+        | Some h -> h item.ev
+        | None -> ())
+  done
+
+let stats t =
+  {
+    messages_sent = t.messages_sent;
+    bytes_sent = t.bytes_sent;
+    messages_delivered = t.messages_delivered;
+    final_time = t.now;
+    events_processed = t.events_processed;
+  }
+
+let set_tracer t f = t.tracer <- Some f
+let clear_tracer t = t.tracer <- None

@@ -1,0 +1,91 @@
+(** The deterministic discrete-event network simulator.
+
+    [n] parties exchange messages of an arbitrary type ['msg]. Time is an
+    integer tick count; the synchrony bound Δ and every delay policy are
+    expressed in ticks. A run is fully determined by the seed, the delay
+    policy, and the party handlers: the event queue breaks time ties by a
+    global sequence number.
+
+    The adversary's scheduling power is exactly the {!delay_policy}: it
+    sees the sender, the destination and the current time and picks the
+    delivery delay. Synchronous policies must return delays [≤ Δ];
+    asynchronous policies may return anything finite (eventual delivery).
+
+    Parties may be replaced at any point with {!set_party} (adaptive
+    corruption). Messages carry their true source: channels are
+    authenticated. *)
+
+type time = int
+
+type 'msg event =
+  | Deliver of { src : int; msg : 'msg }
+  | Timer of int  (** protocol-chosen tag *)
+
+type delay_policy = rng:Rng.t -> now:time -> src:int -> dst:int -> time
+(** Returns the delivery delay in ticks, clamped below to [1] by the
+    engine. *)
+
+type 'msg t
+
+type stats = {
+  messages_sent : int;
+  bytes_sent : int;
+  messages_delivered : int;
+  final_time : time;
+  events_processed : int;
+}
+
+val create :
+  ?seed:int64 ->
+  ?size_of:('msg -> int) ->
+  n:int ->
+  policy:delay_policy ->
+  unit ->
+  'msg t
+(** [size_of] is used only for byte accounting (default: 0 per message). *)
+
+val n : 'msg t -> int
+val now : 'msg t -> time
+val rng : 'msg t -> Rng.t
+(** The engine's RNG stream (shared with the delay policy). *)
+
+val set_party : 'msg t -> int -> ('msg event -> unit) -> unit
+(** Installs (or replaces) the event handler of a party. A party without a
+    handler silently discards its events (a crashed party). *)
+
+val clear_party : 'msg t -> int -> unit
+(** Removes the handler: the party crashes. *)
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Enqueues a message; its delivery time comes from the policy. *)
+
+val broadcast : 'msg t -> src:int -> 'msg -> unit
+(** [send] to every party, including [src] itself. *)
+
+val set_timer : 'msg t -> party:int -> at:time -> tag:int -> unit
+(** Wakes [party] with [Timer tag] at absolute time [at] (clamped to the
+    present). Timers fire after message deliveries scheduled at the same
+    tick that were enqueued earlier. *)
+
+val run : ?until:time -> ?max_events:int -> 'msg t -> unit
+(** Processes events in (time, sequence) order until the queue is empty,
+    [until] is passed, or [max_events] events have fired (default
+    [10_000_000]; reaching it raises [Failure], as it indicates a
+    run-away protocol). *)
+
+val quiescent : 'msg t -> bool
+(** No pending events. *)
+
+val stats : 'msg t -> stats
+
+type 'msg trace_event =
+  | Sent of { src : int; dst : int; at : time; deliver_at : time; msg : 'msg }
+  | Delivered of { src : int; dst : int; at : time; msg : 'msg }
+  | Timer_fired of { party : int; at : time; tag : int }
+
+val set_tracer : 'msg t -> ('msg trace_event -> unit) -> unit
+(** Installs a hook invoked on every send, delivery and timer. Used for
+    per-primitive traffic accounting and debugging; absent by default and
+    free when unset. *)
+
+val clear_tracer : 'msg t -> unit

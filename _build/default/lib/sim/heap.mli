@@ -1,0 +1,16 @@
+(** A mutable binary min-heap, the event queue of the simulator. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Removes and returns a minimal element. When elements compare equal the
+    choice is deterministic (heap order), but callers should make their
+    comparison total — the simulator uses a (time, sequence) key. *)
+
+val peek : 'a t -> 'a option
+val clear : 'a t -> unit

@@ -1,0 +1,27 @@
+let instant ~rng:_ ~now:_ ~src:_ ~dst:_ = 1
+let lockstep ~delta ~rng:_ ~now:_ ~src:_ ~dst:_ = delta
+let sync_uniform ~delta ~rng ~now:_ ~src:_ ~dst:_ = 1 + Rng.int rng delta
+
+let rushing ~delta ~corrupt ~rng:_ ~now:_ ~src ~dst:_ =
+  if corrupt src then 1 else delta
+
+let targeted_slow ~delta ~victims ~rng:_ ~now:_ ~src ~dst =
+  if victims src || victims dst then delta else 1
+
+let async_uniform ~max_delay ~rng ~now:_ ~src:_ ~dst:_ =
+  1 + Rng.int rng max_delay
+
+let async_starve ~victims ~release ~fast ~rng ~now ~src ~dst =
+  let jitter = 1 + Rng.int rng (max 1 fast) in
+  if victims src || victims dst then max jitter (release - now + jitter)
+  else jitter
+
+let async_heavy_tail ~base ~rng ~now:_ ~src:_ ~dst:_ =
+  let roll = Rng.int rng 100 in
+  if roll < 2 then base * 100
+  else if roll < 12 then base * 10
+  else 1 + Rng.int rng base
+
+let async_block ~blocked ~release ~fast ~rng ~now ~src ~dst =
+  let jitter = 1 + Rng.int rng (max 1 fast) in
+  if blocked ~src ~dst then max jitter (release - now + jitter) else jitter

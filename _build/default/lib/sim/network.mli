@@ -1,0 +1,56 @@
+(** Delay policies: the adversary's message-scheduling power.
+
+    Synchronous policies always return delays in [\[1, Δ\]], matching the
+    model where every message arrives within Δ. Asynchronous policies
+    return arbitrary finite delays — delivery is eventual but unbounded, and
+    the adversary can starve chosen parties for long stretches. *)
+
+(* -- synchronous policies (delays ≤ Δ) -- *)
+
+val instant : Engine.delay_policy
+(** Every message takes exactly one tick: an idealised LAN. *)
+
+val lockstep : delta:int -> Engine.delay_policy
+(** Every message takes exactly Δ: the worst uniform synchronous
+    schedule. *)
+
+val sync_uniform : delta:int -> Engine.delay_policy
+(** Uniform random delay in [\[1, Δ\]]. *)
+
+val rushing : delta:int -> corrupt:(int -> bool) -> Engine.delay_policy
+(** A rushing adversary: messages {e from} corrupted parties arrive in one
+    tick, honest traffic takes the full Δ — corrupted parties react to
+    honest values before anyone else hears them. *)
+
+val targeted_slow :
+  delta:int -> victims:(int -> bool) -> Engine.delay_policy
+(** Messages to or from victim parties take the full Δ; the rest of the
+    network is fast (1 tick). Still synchronous. *)
+
+(* -- asynchronous policies (finite but unbounded delays) -- *)
+
+val async_uniform : max_delay:int -> Engine.delay_policy
+(** Uniform random delay in [\[1, max_delay\]] with [max_delay] typically
+    far above the protocol's assumed Δ. *)
+
+val async_starve :
+  victims:(int -> bool) -> release:int -> fast:int -> Engine.delay_policy
+(** Messages to or from victims are held back until around time [release]
+    (plus up to [fast] jitter); all other traffic is delivered within
+    [fast] ticks. Models an adversary partitioning away [ts − ta] honest
+    parties — the fallback regime the hybrid protocol must survive. *)
+
+val async_heavy_tail : base:int -> Engine.delay_policy
+(** Mostly-fast delivery with occasional very long delays
+    ([base × 100] with probability 1/50, [base × 10] with probability
+    1/10). *)
+
+val async_block :
+  blocked:(src:int -> dst:int -> bool) ->
+  release:int ->
+  fast:int ->
+  Engine.delay_policy
+(** Pairwise starvation: messages on [blocked] (src, dst) channels are held
+    until around [release]; everything else is delivered within [fast]
+    ticks. Different receivers can thus miss {e different} senders — the
+    schedule that separates the witness-based ΠoBC from its ablation. *)

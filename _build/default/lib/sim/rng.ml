@@ -1,0 +1,34 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let float01 t =
+  (* 53 random bits scaled into [0, 1) *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1. /. 9007199254740992.)
+
+let float_range t lo hi = lo +. (float01 t *. (hi -. lo))
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+let split t = { state = next_int64 t }
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

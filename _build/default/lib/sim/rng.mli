@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Every source of randomness in the simulator flows from one of these
+    generators, so a run is exactly reproducible from its seed. The state is
+    mutable; use {!split} to derive independent streams (e.g. one per party)
+    whose draws do not perturb each other. *)
+
+type t
+
+val create : int64 -> t
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float01 : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val float_range : t -> float -> float -> float
+(** [float_range t lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** A new generator seeded from (and advancing) [t], statistically
+    independent of subsequent draws from [t]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

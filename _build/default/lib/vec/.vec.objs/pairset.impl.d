@@ -1,0 +1,1 @@
+lib/vec/pairset.ml: Format Int List Map Vec

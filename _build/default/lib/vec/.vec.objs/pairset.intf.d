@@ -1,0 +1,1 @@
+lib/vec/pairset.mli: Format Vec

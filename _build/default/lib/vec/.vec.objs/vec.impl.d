@@ -1,0 +1,1 @@
+lib/vec/vec.ml: Array Float Format List Option Stdlib

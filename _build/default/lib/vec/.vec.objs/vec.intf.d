@@ -1,0 +1,1 @@
+lib/vec/vec.mli: Format

@@ -1,0 +1,129 @@
+type t = float array
+
+let dim = Array.length
+let of_array a = Array.copy a
+let of_list = Array.of_list
+let to_array = Array.copy
+let to_list = Array.to_list
+let get (v : t) d = v.(d)
+let zero d = Array.make d 0.
+
+let basis ~dim d s =
+  if d < 0 || d >= dim then invalid_arg "Vec.basis";
+  let v = Array.make dim 0. in
+  v.(d) <- s;
+  v
+
+let make d x = Array.make d x
+
+let check_dims u v =
+  if Array.length u <> Array.length v then invalid_arg "Vec: dimension mismatch"
+
+let add u v =
+  check_dims u v;
+  Array.mapi (fun i x -> x +. v.(i)) u
+
+let sub u v =
+  check_dims u v;
+  Array.mapi (fun i x -> x -. v.(i)) u
+
+let scale s v = Array.map (fun x -> s *. x) v
+let neg v = scale (-1.) v
+
+let dot u v =
+  check_dims u v;
+  let acc = ref 0. in
+  Array.iteri (fun i x -> acc := !acc +. (x *. v.(i))) u;
+  !acc
+
+let dist2 u v =
+  check_dims u v;
+  let acc = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let d = x -. v.(i) in
+      acc := !acc +. (d *. d))
+    u;
+  !acc
+
+let norm v = sqrt (dot v v)
+let dist u v = sqrt (dist2 u v)
+let midpoint a b = scale 0.5 (add a b)
+
+let lincomb = function
+  | [] -> invalid_arg "Vec.lincomb: empty list"
+  | (l0, v0) :: rest ->
+      let acc = scale l0 v0 in
+      List.iter
+        (fun (l, v) ->
+          check_dims acc v;
+          Array.iteri (fun i x -> acc.(i) <- acc.(i) +. (l *. x)) v)
+        rest;
+      acc
+
+let normalize v =
+  let n = norm v in
+  if n <= 1e-300 then None else Some (scale (1. /. n) v)
+
+let compare (u : t) (v : t) =
+  let c = Stdlib.compare (Array.length u) (Array.length v) in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i = Array.length u then 0
+      else
+        let c = Float.compare u.(i) v.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let equal ?(eps = 1e-9) u v =
+  Array.length u = Array.length v
+  && Array.for_all2 (fun a b -> Float.abs (a -. b) <= eps) u v
+
+let diameter_pair vs =
+  match vs with
+  | [] -> None
+  | [ v ] -> Some (v, v)
+  | _ ->
+      let best = ref None in
+      let better a b d2 =
+        match !best with
+        | None -> true
+        | Some (a', b', d2') ->
+            d2 > d2' +. 1e-15
+            ||
+            (Float.abs (d2 -. d2') <= 1e-15
+            &&
+            let c = compare a a' in
+            c < 0 || (c = 0 && compare b b' < 0))
+      in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              (* orient the pair deterministically *)
+              let a, b = if compare a b <= 0 then (a, b) else (b, a) in
+              let d2 = dist2 a b in
+              if better a b d2 then best := Some (a, b, d2))
+            vs)
+        vs;
+      Option.map (fun (a, b, _) -> (a, b)) !best
+
+let diameter vs =
+  match diameter_pair vs with None -> 0. | Some (a, b) -> dist a b
+
+let centroid = function
+  | [] -> invalid_arg "Vec.centroid: empty list"
+  | vs ->
+      let n = float_of_int (List.length vs) in
+      lincomb (List.map (fun v -> (1. /. n, v)) vs)
+
+let pp ppf v =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf x -> Format.fprintf ppf "%g" x))
+    (Array.to_list v)
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,1 @@
+test/test_adversary.ml: Alcotest Behavior Config Engine List Network Printf Runner Scenario Vec

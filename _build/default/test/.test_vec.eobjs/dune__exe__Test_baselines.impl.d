@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Async_aa Baseline_runner Engine List Network Sync_aa Vec

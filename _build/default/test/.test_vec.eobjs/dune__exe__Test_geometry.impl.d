@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Array Float Hull2d Hullset List Membership Polygon QCheck QCheck_alcotest Vec

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Baseline_runner Behavior Config Engine Fixtures Fun Inputs List Membership Message Network Pairset Rng Runner Scenario Stats String Table Traffic Vec

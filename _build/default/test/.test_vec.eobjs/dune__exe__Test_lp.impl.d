@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Gen List Lp Membership QCheck QCheck_alcotest Vec

@@ -1,0 +1,1 @@
+test/test_maaa.ml: Alcotest Baseline_runner Behavior Config Engine Inputs Int64 List Membership Message Network Params Party Printf QCheck QCheck_alcotest Result Rng Runner Scenario Vec

@@ -1,0 +1,1 @@
+test/test_obc.ml: Alcotest Engine Fun List Message Network Obc Option Pairset Params Printf Rbc Vec

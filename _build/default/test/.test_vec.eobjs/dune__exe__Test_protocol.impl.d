@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Format List Message Params QCheck QCheck_alcotest Safe_area String Vec

@@ -1,0 +1,1 @@
+test/test_rbc.ml: Alcotest Array Engine List Message Network Option Params Printf Rbc Vec

@@ -1,0 +1,1 @@
+test/test_safearea.ml: Alcotest Float Fun Gen List Membership Polygon QCheck QCheck_alcotest Restrict Safe_area String Vec

@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest Float List Pairset QCheck QCheck_alcotest String Vec

@@ -1,0 +1,154 @@
+(* Tests for the Byzantine behaviour strategies: each must be contained by
+   the protocol within its corruption budget, and each must actually do
+   what it claims (observable through the runner's metrics). *)
+
+let cfg = Config.make_exn ~n:8 ~ts:2 ~ta:1 ~d:2 ~eps:0.05 ~delta:10
+
+let inputs =
+  List.init 8 (fun i ->
+      Vec.of_list [ float_of_int (i mod 4); float_of_int (i mod 3) ])
+
+let run ?(seed = 21L) ?policy ?(sync_network = true) corruptions =
+  Runner.run
+    (Scenario.make ~seed ?policy ~sync_network ~corruptions ~cfg ~inputs ())
+
+let assert_contained name r =
+  if not (r.Runner.live && r.Runner.valid && r.Runner.agreement) then
+    Alcotest.failf "%s: protocol properties violated (live=%b valid=%b agree=%b)"
+      name r.Runner.live r.Runner.valid r.Runner.agreement
+
+let test_silent () = assert_contained "silent" (run [ (0, Behavior.Silent); (4, Behavior.Silent) ])
+
+let test_crash_spectrum () =
+  (* crash at several protocol phases: during init, between init and the
+     first iteration, and deep into the iterations *)
+  List.iter
+    (fun tick ->
+      assert_contained
+        (Printf.sprintf "crash at %d" tick)
+        (run [ (2, Behavior.Crash_at tick); (6, Behavior.Crash_at (tick + 17)) ]))
+    [ 5; 40; 82; 130 ]
+
+let test_poison_both_slots () =
+  let far1 = Vec.of_list [ 1e4; 1e4 ] and far2 = Vec.of_list [ -1e4; 1e4 ] in
+  assert_contained "double poison"
+    (run
+       [ (1, Behavior.Honest_with_input far1); (5, Behavior.Honest_with_input far2) ])
+
+let test_equivocator_contained () =
+  List.iter
+    (fun seed ->
+      assert_contained "equivocator"
+        (Runner.run
+           (Scenario.make ~seed ~cfg ~inputs
+              ~policy:(Network.sync_uniform ~delta:10)
+              ~corruptions:
+                [
+                  ( 3,
+                    Behavior.Equivocate
+                      (Vec.of_list [ 77.; 0. ], Vec.of_list [ 0.; 77. ]) );
+                ]
+              ())))
+    [ 1L; 2L; 3L; 4L; 5L ]
+
+let test_halt_liar_cannot_force_early_output () =
+  (* even ts halt liars are one short of the ts + 1 threshold *)
+  let r = run [ (0, Behavior.Halt_liar 1); (4, Behavior.Halt_liar 1) ] in
+  assert_contained "halt liars" r;
+  (* honest halts still dictate it_h >= 1, and outputs happen at an
+     iteration every honest party completed *)
+  List.iter
+    (fun (_, it) ->
+      Alcotest.(check bool) "output iteration >= 1" true (it >= 1))
+    r.Runner.output_iters
+
+let test_spam_flood () =
+  let r =
+    run
+      [ (7, Behavior.Spam { period = 2; payload_bytes = 256; until = 3000 }) ]
+  in
+  assert_contained "spam" r;
+  Alcotest.(check bool) "junk traffic accounted" true
+    (r.Runner.stats.Engine.bytes_sent > 100_000)
+
+let test_lagger_is_tolerated () =
+  List.iter
+    (fun delay ->
+      assert_contained
+        (Printf.sprintf "lagger %d" delay)
+        (Runner.run
+           (Scenario.make ~seed:3L ~cfg ~inputs
+              ~policy:(Network.sync_uniform ~delta:10)
+              ~corruptions:[ (6, Behavior.Lagger delay) ]
+              ())))
+    [ 3; 8; 25; 60 ]
+
+let test_lagger_replays_backlog () =
+  (* a very late lagger must still terminate: its backlog replay lets it
+     catch up with the others' reliable broadcasts *)
+  let r =
+    Runner.run
+      (Scenario.make ~seed:4L ~cfg ~inputs
+         ~policy:(Network.sync_uniform ~delta:10)
+         ~corruptions:[ (6, Behavior.Lagger 200) ]
+         ())
+  in
+  assert_contained "very late lagger" r
+
+let test_garbage_flood () =
+  (* structurally-invalid messages land mid-Pi_init and mid-iteration; the
+     validation paths must drop them without breaking any property *)
+  List.iter
+    (fun at ->
+      assert_contained
+        (Printf.sprintf "garbage at %d" at)
+        (run [ (3, Behavior.Garbage at); (6, Behavior.Garbage (at + 30)) ]))
+    [ 15; 45; 85 ]
+
+let test_full_budget_mixed () =
+  (* one of each kind within the ts = 2 budget, several schedulers *)
+  List.iter
+    (fun (name, policy, sync) ->
+      let r =
+        Runner.run
+          (Scenario.make ~seed:9L ~cfg ~inputs ~policy ~sync_network:sync
+             ~corruptions:
+               (if sync then
+                  [
+                    (1, Behavior.Honest_with_input (Vec.of_list [ 999.; -999. ]));
+                    (5, Behavior.Crash_at 55);
+                  ]
+                else [ (5, Behavior.Silent) ])
+             ())
+      in
+      assert_contained name r)
+    [
+      ("lockstep", Network.lockstep ~delta:10, true);
+      ("rushing", Network.rushing ~delta:10 ~corrupt:(fun i -> i = 1 || i = 5), true);
+      ("heavy tail", Network.async_heavy_tail ~base:15, false);
+      ( "block pairs",
+        Network.async_block
+          ~blocked:(fun ~src ~dst -> src = 0 && dst = 3)
+          ~release:400 ~fast:3,
+        false );
+    ]
+
+let () =
+  Alcotest.run "adversary"
+    [
+      ( "behaviours",
+        [
+          Alcotest.test_case "silent" `Quick test_silent;
+          Alcotest.test_case "crash spectrum" `Quick test_crash_spectrum;
+          Alcotest.test_case "double poison" `Quick test_poison_both_slots;
+          Alcotest.test_case "equivocator" `Quick test_equivocator_contained;
+          Alcotest.test_case "halt liars" `Quick
+            test_halt_liar_cannot_force_early_output;
+          Alcotest.test_case "spam flood" `Quick test_spam_flood;
+          Alcotest.test_case "garbage flood" `Quick test_garbage_flood;
+          Alcotest.test_case "lagger tolerated" `Quick test_lagger_is_tolerated;
+          Alcotest.test_case "lagger backlog replay" `Quick
+            test_lagger_replays_backlog;
+          Alcotest.test_case "full budget mixed" `Quick test_full_budget_mixed;
+        ] );
+    ]

@@ -1,0 +1,165 @@
+(* Tests for the two baseline protocols: correct inside their envelopes,
+   demonstrably broken outside (the regimes E12 measures). *)
+
+let inputs_2d n =
+  List.init n (fun i ->
+      Vec.of_list [ float_of_int (i mod 3); float_of_int (i mod 5) ])
+
+let check_result name ~live ~valid ~agreement (r : Baseline_runner.result) =
+  Alcotest.(check bool) (name ^ " live") live r.Baseline_runner.live;
+  Alcotest.(check bool) (name ^ " valid") valid r.Baseline_runner.valid;
+  Alcotest.(check bool) (name ^ " agreement") agreement r.Baseline_runner.agreement
+
+let test_rounds_for () =
+  let inputs = [ Vec.of_list [ 0. ]; Vec.of_list [ 10. ] ] in
+  let r = Baseline_runner.rounds_for ~eps:0.1 ~inputs in
+  (* log_{sqrt(7/8)}(0.1 / 10) = 2 * ln 100 / ln(8/7) ~ 69 *)
+  Alcotest.(check bool) "about 69 rounds" true (r >= 65 && r <= 75);
+  Alcotest.(check int) "already close" 1
+    (Baseline_runner.rounds_for ~eps:1. ~inputs:[ Vec.of_list [ 0. ] ])
+
+(* --- pure-synchronous baseline --- *)
+
+let test_sync_baseline_home_setting () =
+  let inputs = inputs_2d 8 in
+  let rounds = Baseline_runner.rounds_for ~eps:0.05 ~inputs in
+  let r =
+    Baseline_runner.run_sync_baseline ~n:8 ~t:2 ~rounds ~delta:10 ~eps:0.05
+      ~inputs
+      ~policy:(Network.sync_uniform ~delta:10)
+      ~corruptions:
+        [
+          (1, Baseline_runner.Poison (Vec.of_list [ 1000.; 1000. ]));
+          (5, Baseline_runner.Mute);
+        ]
+      ()
+  in
+  check_result "sync baseline" ~live:true ~valid:true ~agreement:true r;
+  Alcotest.(check int) "no starvation under synchrony" 0 r.starved_rounds
+
+let test_sync_baseline_breaks_off_synchrony () =
+  let inputs = inputs_2d 8 in
+  let rounds = Baseline_runner.rounds_for ~eps:0.05 ~inputs in
+  let r =
+    Baseline_runner.run_sync_baseline ~n:8 ~t:2 ~rounds ~delta:10 ~eps:0.05
+      ~inputs
+      ~policy:
+        (Network.async_starve ~victims:(fun i -> i = 0) ~release:100_000 ~fast:4)
+      ~corruptions:[ (5, Baseline_runner.Mute) ]
+      ()
+  in
+  Alcotest.(check bool) "starved rounds observed" true (r.starved_rounds > 0);
+  Alcotest.(check bool) "agreement lost" false r.agreement
+
+let test_sync_baseline_zero_rounds () =
+  let inputs = inputs_2d 4 in
+  let r =
+    Baseline_runner.run_sync_baseline ~n:4 ~t:1 ~rounds:0 ~delta:10 ~eps:100.
+      ~inputs ~corruptions:[] ()
+  in
+  (* with no rounds everyone outputs its input *)
+  check_result "zero rounds" ~live:true ~valid:true ~agreement:true r
+
+(* --- pure-asynchronous baseline --- *)
+
+let test_async_baseline_home_setting () =
+  let inputs = inputs_2d 8 in
+  let iters = Baseline_runner.rounds_for ~eps:0.05 ~inputs in
+  (* n = 8, D = 2: tolerates t = 1 < n / (D + 2) *)
+  let r =
+    Baseline_runner.run_async_baseline ~n:8 ~t:1 ~iters ~delta:10 ~eps:0.05
+      ~inputs
+      ~policy:(Network.async_heavy_tail ~base:12)
+      ~corruptions:[ (3, Baseline_runner.Poison (Vec.of_list [ -500.; 500. ])) ]
+      ()
+  in
+  check_result "async baseline" ~live:true ~valid:true ~agreement:true r
+
+let test_async_baseline_breaks_beyond_threshold () =
+  (* two poison corruptions exceed its t = 1 envelope: validity is lost
+     (the converged value is dragged outside the honest hull) *)
+  let inputs = inputs_2d 8 in
+  let iters = Baseline_runner.rounds_for ~eps:0.05 ~inputs in
+  let far = Vec.of_list [ 500.; -500. ] in
+  let r =
+    Baseline_runner.run_async_baseline ~n:8 ~t:1 ~iters ~delta:10 ~eps:0.05
+      ~inputs
+      ~policy:(Network.sync_uniform ~delta:10)
+      ~corruptions:
+        [ (1, Baseline_runner.Poison far); (5, Baseline_runner.Poison far) ]
+      ()
+  in
+  Alcotest.(check bool) "lives" true r.live;
+  Alcotest.(check bool) "validity lost" false r.valid
+
+let test_async_baseline_no_clocks () =
+  (* purely count-driven: an extreme scheduler only slows it down *)
+  let inputs = inputs_2d 7 in
+  let r =
+    Baseline_runner.run_async_baseline ~n:7 ~t:1 ~iters:10 ~delta:10 ~eps:10.
+      ~inputs
+      ~policy:
+        (Network.async_starve ~victims:(fun i -> i = 2) ~release:3000 ~fast:3)
+      ~corruptions:[ (6, Baseline_runner.Mute) ]
+      ()
+  in
+  check_result "async no clocks" ~live:true ~valid:true ~agreement:true r
+
+(* --- direct module behaviour --- *)
+
+let test_sync_aa_history () =
+  let delta = 10 in
+  let engine = Engine.create ~n:4 ~policy:(Network.lockstep ~delta) () in
+  let parties =
+    List.init 4 (fun i -> Sync_aa.attach ~n:4 ~t:1 ~rounds:3 ~delta ~me:i engine)
+  in
+  List.iteri
+    (fun i p -> Sync_aa.start p (Vec.of_list [ float_of_int i ]))
+    parties;
+  Engine.run engine;
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "output" true (Sync_aa.output p <> None);
+      Alcotest.(check int) "history = rounds + 1" 4
+        (List.length (Sync_aa.value_history p)))
+    parties
+
+let test_async_aa_history () =
+  let engine = Engine.create ~n:4 ~policy:Network.instant () in
+  let parties =
+    List.init 4 (fun i -> Async_aa.attach ~n:4 ~t:1 ~iters:3 ~me:i engine)
+  in
+  List.iteri
+    (fun i p -> Async_aa.start p (Vec.of_list [ float_of_int i ]))
+    parties;
+  Engine.run engine;
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "output" true (Async_aa.output p <> None);
+      Alcotest.(check bool) "output time recorded" true
+        (Async_aa.output_time p <> None);
+      Alcotest.(check int) "history = iters + 1" 4
+        (List.length (Async_aa.value_history p)))
+    parties
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ("rounds", [ Alcotest.test_case "rounds_for" `Quick test_rounds_for ]);
+      ( "pure-sync",
+        [
+          Alcotest.test_case "home setting" `Quick test_sync_baseline_home_setting;
+          Alcotest.test_case "breaks off-synchrony" `Quick
+            test_sync_baseline_breaks_off_synchrony;
+          Alcotest.test_case "zero rounds" `Quick test_sync_baseline_zero_rounds;
+          Alcotest.test_case "history" `Quick test_sync_aa_history;
+        ] );
+      ( "pure-async",
+        [
+          Alcotest.test_case "home setting" `Quick test_async_baseline_home_setting;
+          Alcotest.test_case "breaks beyond threshold" `Quick
+            test_async_baseline_breaks_beyond_threshold;
+          Alcotest.test_case "count-driven" `Quick test_async_baseline_no_clocks;
+          Alcotest.test_case "history" `Quick test_async_aa_history;
+        ] );
+    ]

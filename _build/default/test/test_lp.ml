@@ -1,0 +1,214 @@
+(* Tests for the dense two-phase simplex solver. *)
+
+let check_optimal name expected = function
+  | Lp.Optimal (z, _) -> Alcotest.(check (float 1e-7)) name expected z
+  | Lp.Infeasible -> Alcotest.fail (name ^ ": unexpectedly infeasible")
+  | Lp.Unbounded -> Alcotest.fail (name ^ ": unexpectedly unbounded")
+
+(* max x + y s.t. x + 2y <= 4, 3x + y <= 6  ->  optimum 2.8 at (1.6, 1.2) *)
+let test_small_max () =
+  let r =
+    Lp.solve ~nvars:2 ~minimize:false
+      ~objective:[ (0, 1.); (1, 1.) ]
+      [
+        { Lp.coeffs = [ (0, 1.); (1, 2.) ]; cmp = Lp.Le; rhs = 4. };
+        { Lp.coeffs = [ (0, 3.); (1, 1.) ]; cmp = Lp.Le; rhs = 6. };
+      ]
+  in
+  check_optimal "objective" 2.8 r;
+  match r with
+  | Lp.Optimal (_, x) ->
+      Alcotest.(check (float 1e-7)) "x" 1.6 x.(0);
+      Alcotest.(check (float 1e-7)) "y" 1.2 x.(1)
+  | _ -> assert false
+
+(* min x + y s.t. x + y >= 3, x <= 2, y <= 2 -> optimum 3 *)
+let test_small_min () =
+  let r =
+    Lp.solve ~nvars:2 ~minimize:true
+      ~objective:[ (0, 1.); (1, 1.) ]
+      [
+        { Lp.coeffs = [ (0, 1.); (1, 1.) ]; cmp = Lp.Ge; rhs = 3. };
+        { Lp.coeffs = [ (0, 1.) ]; cmp = Lp.Le; rhs = 2. };
+        { Lp.coeffs = [ (1, 1.) ]; cmp = Lp.Le; rhs = 2. };
+      ]
+  in
+  check_optimal "objective" 3. r
+
+let test_equality () =
+  (* max 2x + 3y s.t. x + y = 4, x - y <= 2 -> x = 3, y = 1? no:
+     maximizing 3y pushes y up: y = 4, x = 0, obj = 12. x - y = -4 <= 2 ok. *)
+  let r =
+    Lp.solve ~nvars:2 ~minimize:false
+      ~objective:[ (0, 2.); (1, 3.) ]
+      [
+        { Lp.coeffs = [ (0, 1.); (1, 1.) ]; cmp = Lp.Eq; rhs = 4. };
+        { Lp.coeffs = [ (0, 1.); (1, -1.) ]; cmp = Lp.Le; rhs = 2. };
+      ]
+  in
+  check_optimal "objective" 12. r
+
+let test_infeasible () =
+  let r =
+    Lp.solve ~nvars:1 ~minimize:true ~objective:[ (0, 1.) ]
+      [
+        { Lp.coeffs = [ (0, 1.) ]; cmp = Lp.Ge; rhs = 5. };
+        { Lp.coeffs = [ (0, 1.) ]; cmp = Lp.Le; rhs = 1. };
+      ]
+  in
+  Alcotest.(check bool) "infeasible" true (r = Lp.Infeasible)
+
+let test_unbounded () =
+  let r =
+    Lp.solve ~nvars:1 ~minimize:false ~objective:[ (0, 1.) ]
+      [ { Lp.coeffs = [ (0, 1.) ]; cmp = Lp.Ge; rhs = 0. } ]
+  in
+  Alcotest.(check bool) "unbounded" true (r = Lp.Unbounded)
+
+let test_negative_rhs () =
+  (* -x <= -2  (i.e. x >= 2), min x -> 2 *)
+  let r =
+    Lp.solve ~nvars:1 ~minimize:true ~objective:[ (0, 1.) ]
+      [ { Lp.coeffs = [ (0, -1.) ]; cmp = Lp.Le; rhs = -2. } ]
+  in
+  check_optimal "objective" 2. r
+
+let test_degenerate () =
+  (* Redundant constraints sharing a vertex: classic degeneracy. *)
+  let r =
+    Lp.solve ~nvars:2 ~minimize:false
+      ~objective:[ (0, 1.) ]
+      [
+        { Lp.coeffs = [ (0, 1.); (1, 1.) ]; cmp = Lp.Le; rhs = 1. };
+        { Lp.coeffs = [ (0, 1.); (1, 2.) ]; cmp = Lp.Le; rhs = 1. };
+        { Lp.coeffs = [ (0, 1.) ]; cmp = Lp.Le; rhs = 1. };
+      ]
+  in
+  check_optimal "objective" 1. r
+
+let test_redundant_equalities () =
+  (* x + y = 1 stated twice: phase 1 leaves a redundant artificial row. *)
+  let r =
+    Lp.solve ~nvars:2 ~minimize:false ~objective:[ (0, 1.) ]
+      [
+        { Lp.coeffs = [ (0, 1.); (1, 1.) ]; cmp = Lp.Eq; rhs = 1. };
+        { Lp.coeffs = [ (0, 1.); (1, 1.) ]; cmp = Lp.Eq; rhs = 1. };
+      ]
+  in
+  check_optimal "objective" 1. r
+
+(* Beale's classic cycling example: Dantzig's rule with naive tie-breaking
+   cycles forever on it; the Bland fallback must terminate at z* = -1/20. *)
+let test_beale_cycling () =
+  let r =
+    Lp.solve ~nvars:4 ~minimize:true
+      ~objective:[ (0, -0.75); (1, 150.); (2, -0.02); (3, 6.) ]
+      [
+        { Lp.coeffs = [ (0, 0.25); (1, -60.); (2, -0.04); (3, 9.) ]; cmp = Lp.Le; rhs = 0. };
+        { Lp.coeffs = [ (0, 0.5); (1, -90.); (2, -0.02); (3, 3.) ]; cmp = Lp.Le; rhs = 0. };
+        { Lp.coeffs = [ (2, 1.) ]; cmp = Lp.Le; rhs = 1. };
+      ]
+  in
+  check_optimal "beale optimum" (-0.05) r
+
+(* Klee-Minty-style: many iterations but must terminate and be exact. *)
+let test_klee_minty_3 () =
+  let r =
+    Lp.solve ~nvars:3 ~minimize:false
+      ~objective:[ (0, 4.); (1, 2.); (2, 1.) ]
+      [
+        { Lp.coeffs = [ (0, 1.) ]; cmp = Lp.Le; rhs = 5. };
+        { Lp.coeffs = [ (0, 4.); (1, 1.) ]; cmp = Lp.Le; rhs = 25. };
+        { Lp.coeffs = [ (0, 8.); (1, 4.); (2, 1.) ]; cmp = Lp.Le; rhs = 125. };
+      ]
+  in
+  check_optimal "klee-minty optimum" 125. r
+
+let test_feasible_point () =
+  let cs =
+    [
+      { Lp.coeffs = [ (0, 1.); (1, 1.) ]; cmp = Lp.Eq; rhs = 1. };
+      { Lp.coeffs = [ (0, 1.) ]; cmp = Lp.Ge; rhs = 0.25 };
+    ]
+  in
+  (match Lp.feasible_point ~nvars:2 cs with
+  | Some x ->
+      Alcotest.(check (float 1e-7)) "sums to one" 1. (x.(0) +. x.(1));
+      Alcotest.(check bool) "x0 large enough" true (x.(0) >= 0.25 -. 1e-7)
+  | None -> Alcotest.fail "should be feasible");
+  let bad = { Lp.coeffs = [ (1, 1.) ]; cmp = Lp.Ge; rhs = 2. } :: cs in
+  Alcotest.(check bool) "infeasible point" true
+    (Lp.feasible_point ~nvars:2 bad = None)
+
+let test_var_out_of_range () =
+  Alcotest.check_raises "range check"
+    (Invalid_argument "Lp: variable out of range") (fun () ->
+      ignore
+        (Lp.solve ~nvars:1 ~minimize:true ~objective:[]
+           [ { Lp.coeffs = [ (3, 1.) ]; cmp = Lp.Le; rhs = 0. } ]))
+
+(* Property: for random bounded LPs  max c.x  s.t. x <= u (box), the optimum
+   is the obvious corner. *)
+let prop_box =
+  QCheck.Test.make ~name:"box LP optimum at corner" ~count:200
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 6) (float_range 0.1 10.))
+        (list_of_size (Gen.int_range 1 6) (float_range (-5.) 5.)))
+    (fun (ub, c) ->
+      let n = min (List.length ub) (List.length c) in
+      QCheck.assume (n >= 1);
+      let ub = Array.of_list ub and c = Array.of_list c in
+      let cs =
+        List.init n (fun i ->
+            { Lp.coeffs = [ (i, 1.) ]; cmp = Lp.Le; rhs = ub.(i) })
+      in
+      let obj = List.init n (fun i -> (i, c.(i))) in
+      match Lp.solve ~nvars:n ~minimize:false ~objective:obj cs with
+      | Lp.Optimal (z, _) ->
+          let expected = ref 0. in
+          for i = 0 to n - 1 do
+            if c.(i) > 0. then expected := !expected +. (c.(i) *. ub.(i))
+          done;
+          Float.abs (z -. !expected) <= 1e-6
+      | _ -> false)
+
+(* Property: a random convex combination of points is inside their hull, as
+   certified by a feasibility LP. *)
+let prop_combination_feasible =
+  QCheck.Test.make ~name:"convex combinations are LP-feasible" ~count:200
+    QCheck.(
+      list_of_size (Gen.int_range 2 7)
+        (list_of_size (Gen.return 3) (float_range (-10.) 10.)))
+    (fun pts_l ->
+      let pts = List.map Vec.of_list pts_l in
+      let k = List.length pts in
+      let w = List.init k (fun i -> 1. +. float_of_int (i mod 3)) in
+      let total = List.fold_left ( +. ) 0. w in
+      let p =
+        Vec.lincomb (List.map2 (fun wi v -> (wi /. total, v)) w pts)
+      in
+      Membership.in_hull pts p)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "small max" `Quick test_small_max;
+          Alcotest.test_case "small min" `Quick test_small_min;
+          Alcotest.test_case "equality" `Quick test_equality;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "negative rhs" `Quick test_negative_rhs;
+          Alcotest.test_case "degenerate" `Quick test_degenerate;
+          Alcotest.test_case "redundant equalities" `Quick
+            test_redundant_equalities;
+          Alcotest.test_case "beale cycling" `Quick test_beale_cycling;
+          Alcotest.test_case "klee-minty" `Quick test_klee_minty_3;
+          Alcotest.test_case "feasible point" `Quick test_feasible_point;
+          Alcotest.test_case "var out of range" `Quick test_var_out_of_range;
+        ] );
+      ("properties", q [ prop_box; prop_combination_feasible ]);
+    ]

@@ -1,0 +1,277 @@
+(* Tests for the simulation substrate: RNG, heap, engine, delay policies. *)
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_ranges () =
+  let r = Rng.create 7L in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 10 in
+    Alcotest.(check bool) "int in range" true (x >= 0 && x < 10);
+    let f = Rng.float01 r in
+    Alcotest.(check bool) "float01 in range" true (f >= 0. && f < 1.);
+    let g = Rng.float_range r 2. 5. in
+    Alcotest.(check bool) "float_range" true (g >= 2. && g < 5.)
+  done
+
+let test_rng_split () =
+  let a = Rng.create 42L in
+  let c = Rng.split a in
+  (* the split stream differs from the parent's continuation *)
+  Alcotest.(check bool) "independent" true
+    (Rng.next_int64 c <> Rng.next_int64 a)
+
+let test_rng_coverage () =
+  let r = Rng.create 3L in
+  let seen = Array.make 10 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int r 10) <- true
+  done;
+  Alcotest.(check bool) "all buckets hit" true (Array.for_all Fun.id seen)
+
+let test_rng_shuffle () =
+  let r = Rng.create 5L in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 Fun.id) sorted
+
+(* --- Heap --- *)
+
+let test_heap_sorts () =
+  let h = Heap.create ~cmp:compare in
+  let input = [ 5; 3; 8; 1; 9; 2; 7; 1; 4 ] in
+  List.iter (Heap.push h) input;
+  Alcotest.(check int) "size" (List.length input) (Heap.size h);
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "sorted" (List.sort compare input) (drain [])
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h);
+  Alcotest.(check (option int)) "peek empty" None (Heap.peek h);
+  Heap.push h 1;
+  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let prop_heap =
+  QCheck.Test.make ~name:"heap drains sorted" ~count:200
+    QCheck.(list int)
+    (fun l ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) l;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare l)
+
+(* --- Engine --- *)
+
+let test_engine_delivery () =
+  let engine = Engine.create ~n:2 ~policy:Network.instant () in
+  let got = ref [] in
+  Engine.set_party engine 1 (fun ev ->
+      match ev with
+      | Engine.Deliver { src; msg } -> got := (src, msg) :: !got
+      | Engine.Timer _ -> ());
+  Engine.send engine ~src:0 ~dst:1 "hello";
+  Engine.run engine;
+  Alcotest.(check (list (pair int string))) "delivered" [ (0, "hello") ] !got
+
+let test_engine_fifo_per_tick () =
+  (* same delays: delivery order = send order (sequence tie-break) *)
+  let engine = Engine.create ~n:2 ~policy:Network.instant () in
+  let got = ref [] in
+  Engine.set_party engine 1 (fun ev ->
+      match ev with
+      | Engine.Deliver { msg; _ } -> got := msg :: !got
+      | Engine.Timer _ -> ());
+  List.iter (fun m -> Engine.send engine ~src:0 ~dst:1 m) [ "a"; "b"; "c" ];
+  Engine.run engine;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !got)
+
+let test_engine_timer () =
+  let engine = Engine.create ~n:1 ~policy:Network.instant () in
+  let fired = ref [] in
+  Engine.set_party engine 0 (fun ev ->
+      match ev with
+      | Engine.Timer tag -> fired := (tag, Engine.now engine) :: !fired
+      | Engine.Deliver _ -> ());
+  Engine.set_timer engine ~party:0 ~at:10 ~tag:1;
+  Engine.set_timer engine ~party:0 ~at:5 ~tag:2;
+  Engine.run engine;
+  Alcotest.(check (list (pair int int))) "timers in time order"
+    [ (2, 5); (1, 10) ]
+    (List.rev !fired)
+
+let test_engine_broadcast_and_stats () =
+  let engine =
+    Engine.create ~n:3 ~size_of:String.length ~policy:Network.instant ()
+  in
+  let count = ref 0 in
+  for i = 0 to 2 do
+    Engine.set_party engine i (fun ev ->
+        match ev with Engine.Deliver _ -> incr count | Engine.Timer _ -> ())
+  done;
+  Engine.broadcast engine ~src:0 "xyz";
+  Engine.run engine;
+  let s = Engine.stats engine in
+  Alcotest.(check int) "deliveries incl self" 3 !count;
+  Alcotest.(check int) "messages" 3 s.Engine.messages_sent;
+  Alcotest.(check int) "bytes" 9 s.Engine.bytes_sent
+
+let test_engine_crash () =
+  let engine = Engine.create ~n:2 ~policy:Network.instant () in
+  let got = ref 0 in
+  Engine.set_party engine 1 (fun _ -> incr got);
+  Engine.clear_party engine 1;
+  Engine.send engine ~src:0 ~dst:1 "dropped";
+  Engine.run engine;
+  Alcotest.(check int) "nothing handled" 0 !got
+
+let test_engine_until () =
+  let engine = Engine.create ~n:1 ~policy:Network.instant () in
+  let fired = ref 0 in
+  Engine.set_party engine 0 (fun _ -> incr fired);
+  Engine.set_timer engine ~party:0 ~at:5 ~tag:0;
+  Engine.set_timer engine ~party:0 ~at:50 ~tag:0;
+  Engine.run ~until:10 engine;
+  Alcotest.(check int) "only first" 1 !fired;
+  Alcotest.(check bool) "queue not drained" false (Engine.quiescent engine);
+  Engine.run engine;
+  Alcotest.(check int) "rest after" 2 !fired
+
+let test_engine_determinism () =
+  let run_once () =
+    let engine =
+      Engine.create ~seed:9L ~n:3 ~policy:(Network.sync_uniform ~delta:7) ()
+    in
+    let log = ref [] in
+    for i = 0 to 2 do
+      Engine.set_party engine i (fun ev ->
+          match ev with
+          | Engine.Deliver { src; msg } ->
+              log := (Engine.now engine, i, src, msg) :: !log
+          | Engine.Timer _ -> ())
+    done;
+    for s = 0 to 2 do
+      Engine.broadcast engine ~src:s (string_of_int s)
+    done;
+    Engine.run engine;
+    !log
+  in
+  Alcotest.(check bool) "identical logs" true (run_once () = run_once ())
+
+let test_engine_tracer () =
+  let engine = Engine.create ~n:2 ~policy:Network.instant () in
+  let sends = ref 0 and delivers = ref 0 and timers = ref 0 in
+  Engine.set_tracer engine (function
+    | Engine.Sent { deliver_at; at; _ } ->
+        incr sends;
+        Alcotest.(check bool) "deliver after send" true (deliver_at > at)
+    | Engine.Delivered _ -> incr delivers
+    | Engine.Timer_fired { tag; _ } ->
+        incr timers;
+        Alcotest.(check int) "tag" 5 tag);
+  Engine.set_party engine 1 (fun _ -> ());
+  Engine.send engine ~src:0 ~dst:1 "x";
+  Engine.set_timer engine ~party:1 ~at:3 ~tag:5;
+  Engine.run engine;
+  Alcotest.(check int) "sends" 1 !sends;
+  Alcotest.(check int) "delivers" 1 !delivers;
+  Alcotest.(check int) "timers" 1 !timers;
+  (* clearing stops tracing *)
+  Engine.clear_tracer engine;
+  Engine.send engine ~src:0 ~dst:1 "y";
+  Engine.run engine;
+  Alcotest.(check int) "no more trace events" 1 !sends
+
+(* --- policies --- *)
+
+let check_policy_range name policy lo hi =
+  let rng = Rng.create 11L in
+  for now = 0 to 50 do
+    for src = 0 to 3 do
+      for dst = 0 to 3 do
+        let d = policy ~rng ~now ~src ~dst in
+        if not (d >= lo && d <= hi) then
+          Alcotest.failf "%s: delay %d outside [%d, %d]" name d lo hi
+      done
+    done
+  done
+
+let test_policies_sync_bound () =
+  check_policy_range "lockstep" (Network.lockstep ~delta:10) 10 10;
+  check_policy_range "sync_uniform" (Network.sync_uniform ~delta:10) 1 10;
+  check_policy_range "rushing"
+    (Network.rushing ~delta:10 ~corrupt:(fun i -> i = 0))
+    1 10;
+  check_policy_range "targeted_slow"
+    (Network.targeted_slow ~delta:10 ~victims:(fun i -> i = 1))
+    1 10
+
+let test_policy_rushing_bias () =
+  let rng = Rng.create 1L in
+  let p = Network.rushing ~delta:10 ~corrupt:(fun i -> i = 0) in
+  Alcotest.(check int) "corrupt fast" 1 (p ~rng ~now:0 ~src:0 ~dst:1);
+  Alcotest.(check int) "honest slow" 10 (p ~rng ~now:0 ~src:1 ~dst:0)
+
+let test_policy_starve () =
+  let rng = Rng.create 1L in
+  let p =
+    Network.async_starve ~victims:(fun i -> i = 2) ~release:100 ~fast:3
+  in
+  let d = p ~rng ~now:0 ~src:2 ~dst:0 in
+  Alcotest.(check bool) "victim held" true (d >= 100);
+  let d = p ~rng ~now:0 ~src:0 ~dst:1 in
+  Alcotest.(check bool) "others fast" true (d <= 3);
+  let d = p ~rng ~now:200 ~src:2 ~dst:0 in
+  Alcotest.(check bool) "after release fast" true (d <= 4)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "sim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "split" `Quick test_rng_split;
+          Alcotest.test_case "coverage" `Quick test_rng_coverage;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "sorts" `Quick test_heap_sorts;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "delivery" `Quick test_engine_delivery;
+          Alcotest.test_case "fifo per tick" `Quick test_engine_fifo_per_tick;
+          Alcotest.test_case "timer" `Quick test_engine_timer;
+          Alcotest.test_case "broadcast + stats" `Quick
+            test_engine_broadcast_and_stats;
+          Alcotest.test_case "crash" `Quick test_engine_crash;
+          Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "determinism" `Quick test_engine_determinism;
+          Alcotest.test_case "tracer" `Quick test_engine_tracer;
+        ] );
+      ( "policies",
+        [
+          Alcotest.test_case "sync bounds" `Quick test_policies_sync_bound;
+          Alcotest.test_case "rushing bias" `Quick test_policy_rushing_bias;
+          Alcotest.test_case "starvation" `Quick test_policy_starve;
+        ] );
+      ("heap properties", q [ prop_heap ]);
+    ]
