@@ -1,0 +1,23 @@
+.PHONY: all build test bench bench-json ci clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Full-quota run that refreshes the checked-in perf-trajectory file.
+bench-json:
+	dune exec bench/main.exe -- --json BENCH_lp.json
+
+# Build + tests + a tiny-quota bench smoke run (same as scripts/ci.sh).
+ci:
+	sh scripts/ci.sh
+
+clean:
+	dune clean

@@ -4,11 +4,20 @@
    B2  exact polygon path vs implicit LP path on the same 2-D instance
    B3  LP building blocks (simplex feasibility, hull membership)
    B4  2-D convex hull
-   B5  implicit diameter search (D = 3)
+   B5  implicit diameter search (D = 3): seed one-shot path vs the
+       warm-started Lp.Problem workspace
    B6  full protocol runs (one ΠAA execution, end to end, per config)
    B7  one reliable-broadcast instance, end to end
+   B8  restrict_t(M) subset enumeration: seed recursive lists vs the
+       index-array kernel
+   B9  repeated LP objectives over one constraint system: one-shot solve
+       vs workspace replay vs fully warm starts
 
-   Run with:  dune exec bench/main.exe *)
+   Run with:  dune exec bench/main.exe
+   Options:   --json FILE   also write machine-readable results (the
+                            perf-trajectory file BENCH_lp.json)
+              --quota SEC   per-benchmark time quota (default 0.5)
+              --smoke       tiny quota, for CI smoke runs *)
 
 open Bechamel
 open Toolkit
@@ -78,10 +87,27 @@ let b4_hull =
   Test.make ~name:"B4 convex hull 2-D (100 pts)"
     (Staged.stage (fun () -> ignore (Hull2d.hull pts_2d_100)))
 
+(* B5: the hot path this PR targets. The seed line rebuilds the constraint
+   system and redoes phase 1 for each of the ~2·(D+24) support queries of
+   one diameter search (the pre-workspace behaviour, kept alive as
+   Hullset.Reference); the warm lines share one Lp.Problem. *)
+let b5_subsets_3d = Restrict.subsets_arr ~t:2 (Array.of_list pts_3d_9)
+let b5_hs_seed = Hullset.of_arrays b5_subsets_3d
+let b5_hs_warm = Hullset.of_arrays b5_subsets_3d
+
 let b5_diameter =
-  let hs = Hullset.make (Restrict.subsets ~t:2 pts_3d_9) in
-  Test.make ~name:"B5 implicit diameter D=3"
-    (Staged.stage (fun () -> ignore (Hullset.diameter_pair hs)))
+  Test.make_grouped ~name:"B5 implicit diameter D=3"
+    [
+      Test.make ~name:"seed one-shot (rebuild per query)"
+        (Staged.stage (fun () ->
+             ignore (Hullset.Reference.diameter_pair b5_hs_seed)));
+      Test.make ~name:"warm workspace (cached)"
+        (Staged.stage (fun () -> ignore (Hullset.diameter_pair b5_hs_warm)));
+      Test.make ~name:"warm workspace (fresh hullset)"
+        (Staged.stage (fun () ->
+             let hs = Hullset.of_arrays b5_subsets_3d in
+             ignore (Hullset.diameter_pair hs)));
+    ]
 
 let protocol_run ~n ~ts ~ta ~d ~seed =
   let cfg = Config.make_exn ~n ~ts ~ta ~d ~eps:0.05 ~delta:10 in
@@ -115,19 +141,99 @@ let b7_rbc =
          in
          assert (List.length obs.Fixtures.rbc_deliveries = 7)))
 
+(* The pre-PR recursive enumeration, kept here verbatim as the baseline. *)
+let subsets_seed ~t l =
+  let m = List.length l in
+  let keep = m - t in
+  let rec go k xs =
+    if k = 0 then [ [] ]
+    else
+      match xs with
+      | [] -> []
+      | x :: rest ->
+          let with_x = List.map (fun s -> x :: s) (go (k - 1) rest) in
+          let without_x = if List.length rest >= k then go k rest else [] in
+          with_x @ without_x
+  in
+  go keep l
+
+let b8_subsets =
+  let l12 = List.init 12 (fun i -> i) in
+  let a12 = Array.of_list l12 in
+  let l16 = List.init 16 (fun i -> i) in
+  let a16 = Array.of_list l16 in
+  Test.make_grouped ~name:"B8 subset enumeration"
+    [
+      Test.make ~name:"seed recursive lists m=12 t=3"
+        (Staged.stage (fun () -> ignore (subsets_seed ~t:3 l12)));
+      Test.make ~name:"index-array kernel m=12 t=3"
+        (Staged.stage (fun () -> ignore (Restrict.subsets_arr ~t:3 a12)));
+      Test.make ~name:"seed recursive lists m=16 t=4"
+        (Staged.stage (fun () -> ignore (subsets_seed ~t:4 l16)));
+      Test.make ~name:"index-array kernel m=16 t=4"
+        (Staged.stage (fun () -> ignore (Restrict.subsets_arr ~t:4 a16)));
+    ]
+
+(* B9: the Lp.Problem layer in isolation — one fixed polytope (a box with
+   random cuts), 16 objectives asked in sequence. The workspace lines
+   include Problem.make (tableau + phase 1) in the measurement, since that
+   is paid once per constraint system in the protocol too. *)
+let b9_nvars = 40
+
+let b9_constraints =
+  List.init b9_nvars (fun j ->
+      { Lp.coeffs = [ (j, 1.) ]; cmp = Lp.Le; rhs = 1. })
+  @ List.init 12 (fun i ->
+        {
+          Lp.coeffs =
+            List.init b9_nvars (fun j ->
+                (j, 0.2 +. float_of_int ((3 + (5 * i) + (7 * j)) mod 11)));
+          cmp = Lp.Ge;
+          rhs = 4. +. float_of_int i;
+        })
+
+let b9_objectives =
+  List.init 16 (fun i ->
+      List.init b9_nvars (fun j ->
+          (j, Float.sin (float_of_int (((i + 1) * (j + 3)) mod 29)))))
+
+let b9_problem =
+  let one_shot () =
+    List.iter
+      (fun objective ->
+        ignore
+          (Lp.solve ~nvars:b9_nvars ~minimize:false ~objective b9_constraints))
+      b9_objectives
+  in
+  let workspace ~warm () =
+    let p = Lp.Problem.make ~nvars:b9_nvars b9_constraints in
+    List.iter
+      (fun objective ->
+        ignore (Lp.Problem.solve_objective ~warm p ~minimize:false ~objective))
+      b9_objectives
+  in
+  Test.make_grouped ~name:"B9 16 objectives, one system"
+    [
+      Test.make ~name:"one-shot Lp.solve each" (Staged.stage one_shot);
+      Test.make ~name:"workspace replay (warm:false)"
+        (Staged.stage (workspace ~warm:false));
+      Test.make ~name:"workspace warm start (warm:true)"
+        (Staged.stage (workspace ~warm:true));
+    ]
+
 let tests =
   Test.make_grouped ~name:"maaa"
     [
       b1_safe_area; b2_representations; b3_lp; b4_hull; b5_diameter;
-      b6_protocol; b7_rbc;
+      b6_protocol; b7_rbc; b8_subsets; b9_problem;
     ]
 
-let benchmark () =
+let benchmark ~quota () =
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 100) ()
   in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
   Analyze.all ols Instance.monotonic_clock raw
@@ -138,8 +244,118 @@ let pp_ns ppf v =
   else if v >= 1e3 then Format.fprintf ppf "%8.3f us" (v /. 1e3)
   else Format.fprintf ppf "%8.1f ns" v
 
+(* --- machine-readable output ------------------------------------------- *)
+
+let find_row rows suffix =
+  List.find_opt (fun (name, _, _) -> Filename.check_suffix name suffix) rows
+
+let speedup rows ~baseline ~target =
+  match (find_row rows baseline, find_row rows target) with
+  | Some (_, b, _), Some (_, t, _) when t > 0. && Float.is_finite b ->
+      Some (b /. t)
+  | _ -> None
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float v =
+  if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
+
+let write_json ~oc ~quota rows =
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"maaa-bench/1\",\n";
+  out "  \"quota_seconds\": %s,\n" (json_float quota);
+  out "  \"unit\": \"ns/run\",\n";
+  out "  \"results\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, est, r2) ->
+      out "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r2\": %s}%s\n"
+        (json_escape name) (json_float est) (json_float r2)
+        (if i = n - 1 then "" else ","))
+    rows;
+  out "  ],\n";
+  let derived =
+    [
+      ( "b5_speedup_warm_cached_vs_seed",
+        speedup rows
+          ~baseline:"B5 implicit diameter D=3/seed one-shot (rebuild per query)"
+          ~target:"B5 implicit diameter D=3/warm workspace (cached)" );
+      ( "b5_speedup_warm_fresh_vs_seed",
+        speedup rows
+          ~baseline:"B5 implicit diameter D=3/seed one-shot (rebuild per query)"
+          ~target:"B5 implicit diameter D=3/warm workspace (fresh hullset)" );
+      ( "b8_speedup_m12_t3",
+        speedup rows
+          ~baseline:"B8 subset enumeration/seed recursive lists m=12 t=3"
+          ~target:"B8 subset enumeration/index-array kernel m=12 t=3" );
+      ( "b8_speedup_m16_t4",
+        speedup rows
+          ~baseline:"B8 subset enumeration/seed recursive lists m=16 t=4"
+          ~target:"B8 subset enumeration/index-array kernel m=16 t=4" );
+      ( "b9_speedup_replay_vs_one_shot",
+        speedup rows
+          ~baseline:"B9 16 objectives, one system/one-shot Lp.solve each"
+          ~target:"B9 16 objectives, one system/workspace replay (warm:false)"
+      );
+      ( "b9_speedup_warm_vs_one_shot",
+        speedup rows
+          ~baseline:"B9 16 objectives, one system/one-shot Lp.solve each"
+          ~target:"B9 16 objectives, one system/workspace warm start (warm:true)"
+      );
+    ]
+  in
+  out "  \"derived\": {\n";
+  let nd = List.length derived in
+  List.iteri
+    (fun i (key, v) ->
+      let v = match v with Some s -> json_float s | None -> "null" in
+      out "    \"%s\": %s%s\n" key v (if i = nd - 1 then "" else ","))
+    derived;
+  out "  }\n";
+  out "}\n"
+
 let () =
-  let results = benchmark () in
+  let json_path = ref None in
+  let quota = ref 0.5 in
+  let speclist =
+    [
+      ( "--json",
+        Arg.String (fun p -> json_path := Some p),
+        "FILE  also write machine-readable results to FILE" );
+      ("--quota", Arg.Set_float quota, "SEC  per-benchmark time quota");
+      ( "--smoke",
+        Arg.Unit (fun () -> quota := 0.02),
+        "  tiny quota: a fast everything-still-runs pass for CI" );
+    ]
+  in
+  Arg.parse speclist
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench/main.exe [--json FILE] [--quota SEC] [--smoke]";
+  (* Open the output before the (long) run so a bad path fails fast. *)
+  let json_out =
+    Option.map
+      (fun path ->
+        match open_out path with
+        | oc -> (path, oc)
+        | exception Sys_error e ->
+            Printf.eprintf "bench: cannot write JSON output: %s\n" e;
+            exit 1)
+      !json_path
+  in
+  let results = benchmark ~quota:!quota () in
   let rows =
     Hashtbl.fold
       (fun name ols acc ->
@@ -159,4 +375,17 @@ let () =
   Format.printf "%s@." (String.make 80 '-');
   List.iter
     (fun (name, est, r2) -> Format.printf "%-55s %a  %.4f@." name pp_ns est r2)
-    rows
+    rows;
+  (match
+     speedup rows
+       ~baseline:"B5 implicit diameter D=3/seed one-shot (rebuild per query)"
+       ~target:"B5 implicit diameter D=3/warm workspace (cached)"
+   with
+  | Some s -> Format.printf "@.B5 warm-workspace speedup over seed: %.2fx@." s
+  | None -> ());
+  match json_out with
+  | None -> ()
+  | Some (path, oc) ->
+      write_json ~oc ~quota:!quota rows;
+      close_out oc;
+      Format.printf "wrote %s@." path

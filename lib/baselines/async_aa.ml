@@ -77,7 +77,7 @@ let rec step t =
     if s.sent_report && IntSet.cardinal s.witnesses >= t.n - t.thr then begin
       (* pure asynchronous trim level: always t (here ts = ta = t, so
          max(k, t) = t since k ≤ t) *)
-      match Safe_area.new_value ~t:t.thr (Pairset.values s.m) with
+      match Safe_area.new_value_arr ~t:t.thr (Pairset.values_arr s.m) with
       | Some v ->
           t.value <- Some v;
           Hashtbl.replace t.history it v;

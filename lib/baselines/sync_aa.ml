@@ -44,7 +44,7 @@ let end_round t =
   let got = Pairset.cardinal m in
   if got >= t.n - t.thr then begin
     let k = got - (t.n - t.thr) in
-    match Safe_area.new_value ~t:k (Pairset.values m) with
+    match Safe_area.new_value_arr ~t:k (Pairset.values_arr m) with
     | Some v -> t.value <- Some v
     | None -> t.starved <- t.starved + 1 (* keep the old value *)
   end

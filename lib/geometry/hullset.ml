@@ -1,22 +1,32 @@
-type t = { dim : int; hulls : Vec.t array array; offsets : int array; nvars : int }
+type t = {
+  dim : int;
+  hulls : Vec.t array array;
+  offsets : int array;
+  nvars : int;
+  mutable problem : (float * Lp.Problem.t) option;
+      (* cached LP workspace, keyed by the eps it was built with *)
+  mutable hull_lists : Vec.t list array option;
+      (* cached per-hull point lists for membership queries *)
+}
 
-let make hulls =
-  (match hulls with [] -> invalid_arg "Hullset.make: no hulls" | _ -> ());
-  let dim =
-    match hulls with
-    | (v :: _) :: _ -> Vec.dim v
-    | [] :: _ -> invalid_arg "Hullset.make: empty hull"
-    | [] -> assert false
-  in
-  List.iter
+let validate hulls =
+  if Array.length hulls = 0 then invalid_arg "Hullset.make: no hulls";
+  if Array.exists (fun h -> Array.length h = 0) hulls then
+    invalid_arg "Hullset.make: empty hull";
+  let dim = Vec.dim hulls.(0).(0) in
+  Array.iter
     (fun h ->
-      if h = [] then invalid_arg "Hullset.make: empty hull";
-      List.iter
+      Array.iter
         (fun v ->
           if Vec.dim v <> dim then invalid_arg "Hullset.make: mixed dimensions")
         h)
     hulls;
-  let hulls = Array.of_list (List.map Array.of_list hulls) in
+  dim
+
+(* [of_arrays] adopts the arrays without copying (the geometry stack hands
+   over freshly built subset arrays); callers must not mutate them after. *)
+let of_arrays hulls =
+  let dim = validate hulls in
   let k = Array.length hulls in
   let offsets = Array.make k 0 in
   let n = ref 0 in
@@ -25,8 +35,9 @@ let make hulls =
       offsets.(i) <- !n;
       n := !n + Array.length h)
     hulls;
-  { dim; hulls; offsets; nvars = !n }
+  { dim; hulls; offsets; nvars = !n; problem = None; hull_lists = None }
 
+let make hulls = of_arrays (Array.of_list (List.map Array.of_list hulls))
 let dim t = t.dim
 
 (* Shared constraint system: one convex-combination weight per generator
@@ -61,26 +72,49 @@ let constraints t =
   in
   sums @ equalities
 
+let problem ~eps t =
+  match t.problem with
+  | Some (e, p) when e = eps -> p
+  | _ ->
+      let p = Lp.Problem.make ~eps ~nvars:t.nvars (constraints t) in
+      t.problem <- Some (eps, p);
+      p
+
 let point_of_solution t x =
   let h0 = t.hulls.(0) in
   Vec.lincomb
     (List.init (Array.length h0) (fun j -> (x.(t.offsets.(0) + j), h0.(j))))
 
+let support_objective t ~dir =
+  let h0 = t.hulls.(0) in
+  List.init (Array.length h0) (fun j -> (t.offsets.(0) + j, Vec.dot dir h0.(j)))
+
 let find_point ?(eps = 1e-9) t =
-  Option.map (point_of_solution t) (Lp.feasible_point ~eps ~nvars:t.nvars (constraints t))
+  Option.map (point_of_solution t) (Lp.Problem.feasible_point (problem ~eps t))
 
 let is_empty ?eps t = Option.is_none (find_point ?eps t)
 
 let contains ?(eps = 1e-9) t p =
-  Array.for_all (fun h -> Membership.in_hull ~eps (Array.to_list h) p) t.hulls
-
-let support ?(eps = 1e-9) t ~dir =
-  let h0 = t.hulls.(0) in
-  let objective =
-    List.init (Array.length h0) (fun j ->
-        (t.offsets.(0) + j, Vec.dot dir h0.(j)))
+  let lists =
+    match t.hull_lists with
+    | Some ls -> ls
+    | None ->
+        let ls = Array.map Array.to_list t.hulls in
+        t.hull_lists <- Some ls;
+        ls
   in
-  match Lp.solve ~eps ~nvars:t.nvars ~minimize:false ~objective (constraints t) with
+  Array.for_all (fun h -> Membership.in_hull ~eps h p) lists
+
+(* [warm:false]: phase 2 replays from the pristine post-phase-1 state, so
+   every cached-workspace query is bit-identical to [Reference] below (and
+   hence to the seed one-shot implementation) while still skipping the
+   per-query constraint build, tableau build and phase 1. The fully warm
+   mode is benchmarked at the [Lp.Problem] level. *)
+let support ?(eps = 1e-9) t ~dir =
+  match
+    Lp.Problem.solve_objective ~warm:false (problem ~eps t) ~minimize:false
+      ~objective:(support_objective t ~dir)
+  with
   | Lp.Infeasible -> None
   | Lp.Unbounded -> assert false (* K is bounded: a product of simplices *)
   | Lp.Optimal (v, x) -> Some (v, point_of_solution t x)
@@ -117,12 +151,15 @@ let seed_directions t =
   in
   axes @ take cap diffs
 
-let diameter_pair ?(eps = 1e-9) t =
-  match find_point ~eps t with
+(* The search itself, shared by the workspace-backed and the reference
+   implementations so that their results can only differ through the
+   [find_point]/[support] queries they are given. *)
+let diameter_pair_with ~find_point ~support t =
+  match find_point t with
   | None -> None
   | Some p0 ->
       let width d =
-        match (support ~eps t ~dir:d, support ~eps t ~dir:(Vec.neg d)) with
+        match (support t ~dir:d, support t ~dir:(Vec.neg d)) with
         | Some (va, a), Some (vb, b) -> Some (va +. vb, a, b)
         | _ -> None
       in
@@ -130,7 +167,6 @@ let diameter_pair ?(eps = 1e-9) t =
       let consider d =
         match width d with
         | Some (w, a, b) ->
-            let _, _, _ = !best in
             let bw, _, _ = !best in
             if w > bw +. 1e-12 then best := (w, a, b)
         | None -> ()
@@ -153,3 +189,29 @@ let diameter_pair ?(eps = 1e-9) t =
       let _, a, b = !best in
       (* Deterministic orientation of the pair. *)
       if Vec.compare a b <= 0 then Some (a, b) else Some (b, a)
+
+let diameter_pair ?(eps = 1e-9) t =
+  diameter_pair_with t
+    ~find_point:(fun t -> find_point ~eps t)
+    ~support:(fun t ~dir -> support ~eps t ~dir)
+
+module Reference = struct
+  let find_point ?(eps = 1e-9) t =
+    Option.map (point_of_solution t)
+      (Lp.feasible_point ~eps ~nvars:t.nvars (constraints t))
+
+  let support ?(eps = 1e-9) t ~dir =
+    match
+      Lp.solve ~eps ~nvars:t.nvars ~minimize:false
+        ~objective:(support_objective t ~dir)
+        (constraints t)
+    with
+    | Lp.Infeasible -> None
+    | Lp.Unbounded -> assert false
+    | Lp.Optimal (v, x) -> Some (v, point_of_solution t x)
+
+  let diameter_pair ?(eps = 1e-9) t =
+    diameter_pair_with t
+      ~find_point:(fun t -> find_point ~eps t)
+      ~support:(fun t ~dir -> support ~eps t ~dir)
+end

@@ -13,6 +13,11 @@ val make : Vec.t list list -> t
 (** @raise Invalid_argument on an empty list, an empty hull, or mixed
     dimensions. *)
 
+val of_arrays : Vec.t array array -> t
+(** Array-native constructor used by the safe-area kernels; adopts the
+    arrays without copying, so they must not be mutated afterwards.
+    Validation as in {!make}. *)
+
 val dim : t -> int
 
 val find_point : ?eps:float -> t -> Vec.t option
@@ -35,3 +40,20 @@ val diameter_pair : ?eps:float -> t -> (Vec.t * Vec.t) option
     alternating refinement [d ← (a−b)/|a−b|]. Both returned points lie in
     [K] exactly (they are LP support points), so their midpoint is in [K].
     [None] when [K = ∅]. *)
+
+(** All LP-backed queries above share one cached {!Lp.Problem} workspace
+    per value of [t] (built lazily on the first query): the constraint
+    system, tableau and phase-1 feasibility are computed once and every
+    support/feasibility query replays phase 2 from that state, which keeps
+    the answers bit-identical to the one-shot reference below.
+
+    [Reference] is the unstaged path — every query rebuilds the constraint
+    system and calls the one-shot {!Lp.solve} / {!Lp.feasible_point}, as
+    the code before the workspace layer did. It exists for differential
+    tests and the before/after benchmark groups; protocol code should use
+    the cached queries above. *)
+module Reference : sig
+  val find_point : ?eps:float -> t -> Vec.t option
+  val support : ?eps:float -> t -> dir:Vec.t -> (float * Vec.t) option
+  val diameter_pair : ?eps:float -> t -> (Vec.t * Vec.t) option
+end

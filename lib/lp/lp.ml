@@ -237,3 +237,96 @@ let feasible_point ?(eps = 1e-9) ~nvars cs =
   match phase1 ~eps ~nvars cs with
   | None -> None
   | Some (t, _) -> Some (extract t ~nvars)
+
+(* A factored LP workspace: the tableau is built and phase-1 is run exactly
+   once per constraint system; every subsequent objective is answered by
+   re-pricing over a basis that is already primal feasible. Two phase-2
+   entry modes share the same buffers:
+
+   - [warm:true] starts from whatever basis the previous solve ended in.
+     Successive similar objectives (e.g. support directions swept over a
+     polytope) then need only a handful of pivots.
+   - [warm:false] first restores the pristine post-phase-1 tableau (a row
+     blit, no allocation). Phase 2 then replays exactly the pivots the
+     one-shot [solve] would have made, so results are bit-identical to it —
+     which the agreement protocol's cross-party determinism and the
+     differential tests rely on.
+
+   The objective row and the restore snapshot are allocated once in [make];
+   [solve_objective] itself allocates only the returned solution vector. *)
+module Problem = struct
+  type state = {
+    t : tableau;
+    art_start : int;
+    nvars : int;
+    obj : float array;  (* reusable priced-out objective row *)
+    base_tab : float array array;  (* post-phase-1 snapshot, row-aligned *)
+    base_basis : int array;
+    mutable pristine : bool;  (* true while [t] still equals the snapshot *)
+  }
+
+  type t = Empty of { nvars : int } | Workspace of state
+
+  let make ?(eps = 1e-9) ~nvars cs =
+    match phase1 ~eps ~nvars cs with
+    | None -> Empty { nvars }
+    | Some (t, art_start) ->
+        Workspace
+          {
+            t;
+            art_start;
+            nvars;
+            obj = Array.make (t.ncols + 1) 0.;
+            base_tab = Array.map Array.copy t.tab;
+            base_basis = Array.copy t.basis;
+            pristine = true;
+          }
+
+  let is_feasible = function Empty _ -> false | Workspace _ -> true
+  let nvars = function Empty { nvars } | Workspace { nvars; _ } -> nvars
+
+  let restore s =
+    if not s.pristine then begin
+      let w = s.t.ncols + 1 in
+      for i = 0 to s.t.m - 1 do
+        Array.blit s.base_tab.(i) 0 s.t.tab.(i) 0 w
+      done;
+      Array.blit s.base_basis 0 s.t.basis 0 s.t.m;
+      s.pristine <- true
+    end
+
+  (* Reads the snapshot directly, so the answer matches the one-shot
+     [feasible_point] bit-for-bit no matter what has been solved since. *)
+  let feasible_point = function
+    | Empty _ -> None
+    | Workspace s ->
+        let x = Array.make s.nvars 0. in
+        for i = 0 to s.t.m - 1 do
+          let b = s.base_basis.(i) in
+          if b < s.nvars then x.(b) <- s.base_tab.(i).(s.t.ncols)
+        done;
+        Some x
+
+  let solve_objective ?(warm = true) p ~minimize ~objective =
+    match p with
+    | Empty _ -> Infeasible
+    | Workspace s ->
+        if not warm then restore s;
+        let obj = s.obj in
+        Array.fill obj 0 (Array.length obj) 0.;
+        let sign = if minimize then 1. else -1. in
+        List.iter
+          (fun (j, v) ->
+            if j < 0 || j >= s.nvars then
+              invalid_arg "Lp: variable out of range";
+            obj.(j) <- obj.(j) +. (sign *. v))
+          objective;
+        price_out s.t obj;
+        s.pristine <- false;
+        (match optimise s.t obj ~allowed:s.art_start with
+        | `Unbounded -> Unbounded
+        | `Optimal ->
+            let x = extract s.t ~nvars:s.nvars in
+            let z = -.obj.(s.t.ncols) in
+            Optimal ((if minimize then z else -.z), x))
+end

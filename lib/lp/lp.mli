@@ -38,3 +38,56 @@ val solve :
 val feasible_point :
   ?eps:float -> nvars:int -> constr list -> float array option
 (** Phase-1 only: some point of the polyhedron, or [None] if empty. *)
+
+(** A reusable LP workspace over one fixed constraint system.
+
+    {!Problem.make} builds the tableau and runs phase-1 feasibility exactly
+    once; {!Problem.solve_objective} then answers any number of objectives
+    against the same polyhedron by re-pricing the objective row over a basis
+    that is already primal feasible. All tableau rows, the objective row and
+    the restore snapshot are allocated in [make] and reused across solves —
+    a solve allocates nothing beyond the returned solution vector.
+
+    This is the hot path of the geometry stack: a safe-area diameter search
+    issues ~2·(D + 24) support queries against one constraint system, and
+    the one-shot {!solve} would rebuild the tableau and redo phase-1 for
+    each of them. *)
+module Problem : sig
+  type t
+
+  val make : ?eps:float -> nvars:int -> constr list -> t
+  (** Build the tableau and decide feasibility (phase 1) once. [eps] as in
+      {!solve}; it applies to every subsequent query on the workspace.
+
+      @raise Invalid_argument on a variable index outside [0 .. nvars-1].
+      @raise Failure if the phase-1 iteration cap is exceeded. *)
+
+  val is_feasible : t -> bool
+
+  val nvars : t -> int
+
+  val feasible_point : t -> float array option
+  (** The phase-1 point, bit-identical to the one-shot {!feasible_point} on
+      the same constraints, regardless of any solves in between. *)
+
+  val solve_objective :
+    ?warm:bool -> t -> minimize:bool -> objective:(int * float) list -> result
+  (** Optimise one more objective over the workspace's polyhedron.
+
+      With [warm:true] (the default) phase 2 starts from the basis the
+      previous solve ended in — the fastest mode when consecutive
+      objectives are related, e.g. a swept support direction. The result is
+      still deterministic (a fixed call sequence yields fixed answers) and
+      the optimal {e value} agrees with {!solve}, but the pivot path — and
+      hence the floating-point noise and the argmax on a degenerate face —
+      may differ from the one-shot solver's.
+
+      With [warm:false] the pristine post-phase-1 tableau is restored first
+      (a row blit, no allocation), after which phase 2 replays exactly what
+      {!solve} would do: results are bit-identical to the one-shot solver.
+      The geometry stack uses this mode so that cached-workspace queries
+      remain bit-compatible with recomputation from scratch.
+
+      @raise Invalid_argument on a variable index outside [0 .. nvars-1].
+      @raise Failure if the iteration cap is exceeded. *)
+end

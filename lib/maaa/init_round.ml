@@ -65,7 +65,7 @@ let estimations t = t.i_e
 let estimate t report =
   let k = Pairset.cardinal report - (t.n - t.ts) in
   let trim = max t.ta k in
-  Safe_area.new_value ~t:trim (Pairset.values report)
+  Safe_area.new_value_arr ~t:trim (Pairset.values_arr report)
 
 let promote_witness t from report =
   match estimate t report with
@@ -138,7 +138,7 @@ let try_fire t =
     then begin
       let k = IntSet.cardinal t.witnesses - (t.n - t.ts) in
       let trim = max t.ta k in
-      match Safe_area.new_value ~t:trim (Pairset.values t.i_e) with
+      match Safe_area.new_value_arr ~t:trim (Pairset.values_arr t.i_e) with
       | Some v0 ->
           t.done_ <- true;
           t.cb.output (iteration_estimate t) v0

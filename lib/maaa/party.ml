@@ -110,7 +110,7 @@ and on_obc_output t it mset =
   if t.output = None && t.iter = it && t.pending_value = None then begin
     let k = Pairset.cardinal mset - (t.cfg.n - t.cfg.ts) in
     let trim = max k t.cfg.ta in
-    match Safe_area.new_value ~t:trim (Pairset.values mset) with
+    match Safe_area.new_value_arr ~t:trim (Pairset.values_arr mset) with
     | Some v ->
         t.pending_value <- Some v;
         try_advance t

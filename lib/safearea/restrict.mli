@@ -5,6 +5,15 @@ val count : m:int -> t:int -> int
 (** [count ~m ~t = C(m, t)], the size of the family. Saturates at
     [max_int] rather than overflowing. *)
 
+val subsets_arr : t:int -> 'a array -> 'a array array
+(** [subsets_arr ~t a] is every subarray of [a] obtained by removing
+    exactly [t] elements, each preserving the original order; the family is
+    produced in increasing lexicographic order of the kept index sets. This
+    is the allocation-lean kernel behind {!subsets} and the safe-area
+    computation; the returned rows are fresh.
+
+    @raise Invalid_argument under the same conditions as {!subsets}. *)
+
 val subsets : t:int -> 'a list -> 'a list list
 (** [subsets ~t l] is every sublist of [l] obtained by removing exactly
     [t] elements, each preserving the original order; the family itself is

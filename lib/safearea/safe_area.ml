@@ -4,8 +4,8 @@ type t =
   | Implicit of Hullset.t
 
 let compute_1d ~t vs =
-  let s = List.sort Float.compare (List.map (fun v -> Vec.get v 0) vs) in
-  let arr = Array.of_list s in
+  let arr = Array.map (fun v -> Vec.get v 0) vs in
+  Array.sort Float.compare arr;
   let m = Array.length arr in
   (* The intersection's lower end is the largest attainable subset minimum,
      reached by dropping the [t] smallest values; symmetrically above. *)
@@ -14,25 +14,35 @@ let compute_1d ~t vs =
 
 let compute_2d ~t vs =
   let polys =
-    Restrict.subsets ~t vs |> List.map (fun sub -> Polygon.of_points sub)
+    Restrict.subsets_arr ~t vs
+    |> Array.map (fun sub -> Polygon.of_points (Array.to_list sub))
+    |> Array.to_list
   in
   Option.map (fun p -> Planar p) (Polygon.inter_all polys)
 
 let compute_nd ~t vs =
-  let hs = Hullset.make (Restrict.subsets ~t vs) in
+  let hs = Hullset.of_arrays (Restrict.subsets_arr ~t vs) in
   if Hullset.is_empty hs then None else Some (Implicit hs)
 
-let compute ~t vs =
-  (match vs with [] -> invalid_arg "Safe_area.compute: empty multiset" | _ -> ());
-  let m = List.length vs in
+(* Array-native core: the multiset arrives as an array, is canonicalised in
+   place, and flows into the per-dimension kernels without intermediate
+   lists. [compute] wraps it for list-based callers. *)
+let compute_arr ~t vs =
+  let m = Array.length vs in
+  if m = 0 then invalid_arg "Safe_area.compute: empty multiset";
   if t < 0 || t >= m then invalid_arg "Safe_area.compute: need 0 <= t < |M|";
   (* Canonicalise the multiset order so the result — including its floating
-     point noise — is independent of the order values were received in. *)
-  let vs = List.sort Vec.compare vs in
-  match Vec.dim (List.hd vs) with
+     point noise — is independent of the order values were received in.
+     (Vectors comparing equal are coordinate-identical, so the unstable
+     sort cannot perturb the value sequence.) *)
+  let vs = Array.copy vs in
+  Array.sort Vec.compare vs;
+  match Vec.dim vs.(0) with
   | 1 -> compute_1d ~t vs
   | 2 -> compute_2d ~t vs
   | _ -> compute_nd ~t vs
+
+let compute ~t vs = compute_arr ~t (Array.of_list vs)
 
 let contains ?(eps = 1e-9) area p =
   match area with
@@ -59,6 +69,7 @@ let midpoint_value area =
   Vec.midpoint a b
 
 let new_value ~t vs = Option.map midpoint_value (compute ~t vs)
+let new_value_arr ~t vs = Option.map midpoint_value (compute_arr ~t vs)
 
 let interior_point = function
   | Interval { lo; hi } -> Vec.of_list [ (lo +. hi) /. 2. ]

@@ -26,6 +26,10 @@ val compute : t:int -> Vec.t list -> t option
     @raise Invalid_argument if [vs] is empty, [t < 0], [t ≥ length vs], or
     the subset family exceeds {!Restrict.max_subsets}. *)
 
+val compute_arr : t:int -> Vec.t array -> t option
+(** Array-native variant of {!compute} (the protocol hot path); the input
+    array is not mutated. Bit-identical to [compute ~t (Array.to_list vs)]. *)
+
 val contains : ?eps:float -> t -> Vec.t -> bool
 
 val diameter_pair : t -> Vec.t * Vec.t
@@ -43,6 +47,9 @@ val midpoint_value : t -> Vec.t
 val new_value : t:int -> Vec.t list -> Vec.t option
 (** [new_value ~t vs = Option.map midpoint_value (compute ~t vs)]:
     the complete "trim and average" step of one iteration. *)
+
+val new_value_arr : t:int -> Vec.t array -> Vec.t option
+(** Array-native {!new_value}, over {!compute_arr}. *)
 
 val interior_point : t -> Vec.t
 (** Some deterministic point of the area (used by the ablations; the

@@ -12,6 +12,21 @@ let add ~party v m =
 let mem_party = IM.mem
 let find_party p m = IM.find_opt p m
 let values m = IM.bindings m |> List.map snd
+
+let values_arr m =
+  let n = IM.cardinal m in
+  if n = 0 then [||]
+  else begin
+    let _, v0 = IM.min_binding m in
+    let out = Array.make n v0 in
+    let i = ref 0 in
+    IM.iter
+      (fun _ v ->
+        out.(!i) <- v;
+        incr i)
+      m;
+    out
+  end
 let parties m = IM.bindings m |> List.map fst
 let bindings = IM.bindings
 

@@ -21,6 +21,10 @@ val find_party : int -> t -> Vec.t option
 val values : t -> Vec.t list
 (** [val(M)] as a list, in increasing party order (deterministic). *)
 
+val values_arr : t -> Vec.t array
+(** [val(M)] as an array, in increasing party order; feeds the array-native
+    safe-area path without an intermediate list. *)
+
 val parties : t -> int list
 val bindings : t -> (int * Vec.t) list
 val of_bindings : (int * Vec.t) list -> t

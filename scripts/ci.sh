@@ -1,0 +1,21 @@
+#!/bin/sh
+# CI entry point: tier-1 verification plus a bench smoke run.
+#
+#   sh scripts/ci.sh        (or: make ci)
+#
+# The smoke run uses a tiny per-benchmark quota — it exists to prove the
+# bechamel suite and the JSON emitter still work, not to produce stable
+# numbers. Refresh the committed BENCH_lp.json with `make bench-json`.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench smoke run =="
+dune exec bench/main.exe -- --smoke --json _build/BENCH_smoke.json
+grep -q '"schema": "maaa-bench/1"' _build/BENCH_smoke.json
+echo "ci: OK"

@@ -277,6 +277,71 @@ let test_hullset_diameter_3d () =
       let d = Vec.dist a b in
       Alcotest.(check bool) "close to exact" true (Float.abs (d -. 1.5) <= 0.02)
 
+let test_hullset_of_arrays () =
+  let h1 = [ v [ 0.; 0. ]; v [ 2.; 0. ]; v [ 2.; 2. ]; v [ 0.; 2. ] ] in
+  let h2 = [ v [ 1.; 1. ]; v [ 3.; 1. ]; v [ 3.; 3. ]; v [ 1.; 3. ] ] in
+  let from_lists = Hullset.make [ h1; h2 ] in
+  let from_arrays =
+    Hullset.of_arrays [| Array.of_list h1; Array.of_list h2 |]
+  in
+  Alcotest.(check bool) "same find_point" true
+    (Hullset.find_point from_lists = Hullset.find_point from_arrays);
+  Alcotest.(check bool) "same diameter" true
+    (Hullset.diameter_pair from_lists = Hullset.diameter_pair from_arrays);
+  Alcotest.check_raises "no hulls" (Invalid_argument "Hullset.make: no hulls")
+    (fun () -> ignore (Hullset.of_arrays [||]));
+  Alcotest.check_raises "empty hull"
+    (Invalid_argument "Hullset.make: empty hull") (fun () ->
+      ignore (Hullset.of_arrays [| [| v [ 0.; 0. ] |]; [||] |]))
+
+(* --- cached workspace vs the one-shot reference path --- *)
+
+let vec_opt_bits_eq a b =
+  match (a, b) with
+  | None, None -> true
+  | Some u, Some w -> Vec.compare u w = 0
+  | _ -> false
+
+let pair_opt_bits_eq a b =
+  match (a, b) with
+  | None, None -> true
+  | Some (u1, u2), Some (w1, w2) ->
+      Vec.compare u1 w1 = 0 && Vec.compare u2 w2 = 0
+  | _ -> false
+
+(* The workspace-backed queries must be bit-identical to the pre-workspace
+   one-shot path (Hullset.Reference), per the solver's replay guarantee —
+   this is what keeps cached recomputation protocol-safe. Exercised on the
+   full safe-area shape: hullsets built from restrict_t subset families of
+   random point sets in D ∈ {3, 4}. *)
+let prop_workspace_matches_reference =
+  let gen =
+    QCheck.Gen.(
+      int_range 3 4 >>= fun d ->
+      int_range 5 6 >>= fun n ->
+      list_repeat n (list_repeat d (float_range (-10.) 10.)) >|= fun pts ->
+      (d, List.map Vec.of_list pts))
+  in
+  QCheck.Test.make ~name:"workspace queries ≡ one-shot reference" ~count:25
+    (QCheck.make ~print:(fun (d, pts) ->
+         Printf.sprintf "d=%d n=%d %s" d (List.length pts)
+           (String.concat " " (List.map Vec.to_string pts)))
+       gen)
+    (fun (d, pts) ->
+      let hs = Hullset.of_arrays (Restrict.subsets_arr ~t:1 (Array.of_list pts)) in
+      let dp = Hullset.diameter_pair hs in
+      let axis = Vec.basis ~dim:d 0 1. in
+      vec_opt_bits_eq (Hullset.find_point hs) (Hullset.Reference.find_point hs)
+      && pair_opt_bits_eq dp (Hullset.Reference.diameter_pair hs)
+      && (match (Hullset.support hs ~dir:axis, Hullset.Reference.support hs ~dir:axis) with
+         | None, None -> true
+         | Some (v1, p1), Some (v2, p2) ->
+             Int64.bits_of_float v1 = Int64.bits_of_float v2
+             && Vec.compare p1 p2 = 0
+         | _ -> false)
+      (* and the cached answers are stable under repetition *)
+      && pair_opt_bits_eq dp (Hullset.diameter_pair hs))
+
 let test_hullset_deterministic () =
   let h1 = [ v [ 0.; 0.; 0. ]; v [ 2.; 0.; 0. ]; v [ 0.; 2.; 0. ]; v [ 0.; 0.; 2. ] ] in
   let h2 = [ v [ 1.; 1.; 1. ]; v [ -1.; 0.; 0. ]; v [ 0.; -1.; 0. ]; v [ 0.; 0.; 1. ] ] in
@@ -322,10 +387,12 @@ let () =
           Alcotest.test_case "diameter square" `Quick test_hullset_diameter_square;
           Alcotest.test_case "diameter 3d" `Quick test_hullset_diameter_3d;
           Alcotest.test_case "deterministic" `Quick test_hullset_deterministic;
+          Alcotest.test_case "of_arrays" `Quick test_hullset_of_arrays;
         ] );
       ( "properties",
         q
           [
+            prop_workspace_matches_reference;
             prop_membership_agrees_2d;
             prop_hull_idempotent;
             prop_hull_contains_inputs;

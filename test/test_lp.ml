@@ -190,6 +190,139 @@ let prop_combination_feasible =
       in
       Membership.in_hull pts p)
 
+(* --- Lp.Problem: the reusable workspace --- *)
+
+let bits_eq a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+(* Bit-level equality, the contract of [solve_objective ~warm:false]. *)
+let result_bits_eq r1 r2 =
+  match (r1, r2) with
+  | Lp.Optimal (z1, x1), Lp.Optimal (z2, x2) ->
+      bits_eq z1 z2
+      && Array.length x1 = Array.length x2
+      && Array.for_all2 bits_eq x1 x2
+  | Lp.Infeasible, Lp.Infeasible | Lp.Unbounded, Lp.Unbounded -> true
+  | _ -> false
+
+let test_problem_reuse () =
+  let cs =
+    [
+      { Lp.coeffs = [ (0, 1.); (1, 2.) ]; cmp = Lp.Le; rhs = 4. };
+      { Lp.coeffs = [ (0, 3.); (1, 1.) ]; cmp = Lp.Le; rhs = 6. };
+    ]
+  in
+  let p = Lp.Problem.make ~nvars:2 cs in
+  Alcotest.(check bool) "feasible" true (Lp.Problem.is_feasible p);
+  Alcotest.(check int) "nvars" 2 (Lp.Problem.nvars p);
+  (* A sequence of warm solves over the same workspace. *)
+  check_optimal "max x+y" 2.8
+    (Lp.Problem.solve_objective p ~minimize:false
+       ~objective:[ (0, 1.); (1, 1.) ]);
+  check_optimal "max x" 2.
+    (Lp.Problem.solve_objective p ~minimize:false ~objective:[ (0, 1.) ]);
+  check_optimal "min x" 0.
+    (Lp.Problem.solve_objective p ~minimize:true ~objective:[ (0, 1.) ]);
+  check_optimal "max x+y again" 2.8
+    (Lp.Problem.solve_objective p ~minimize:false
+       ~objective:[ (0, 1.); (1, 1.) ])
+
+let test_problem_infeasible () =
+  let p =
+    Lp.Problem.make ~nvars:1
+      [
+        { Lp.coeffs = [ (0, 1.) ]; cmp = Lp.Ge; rhs = 5. };
+        { Lp.coeffs = [ (0, 1.) ]; cmp = Lp.Le; rhs = 1. };
+      ]
+  in
+  Alcotest.(check bool) "infeasible" false (Lp.Problem.is_feasible p);
+  Alcotest.(check bool) "no point" true (Lp.Problem.feasible_point p = None);
+  Alcotest.(check bool) "solve reports infeasible" true
+    (Lp.Problem.solve_objective p ~minimize:true ~objective:[ (0, 1.) ]
+    = Lp.Infeasible)
+
+let test_problem_unbounded () =
+  let p =
+    Lp.Problem.make ~nvars:2
+      [ { Lp.coeffs = [ (0, 1.); (1, -1.) ]; cmp = Lp.Le; rhs = 1. } ]
+  in
+  Alcotest.(check bool) "unbounded" true
+    (Lp.Problem.solve_objective p ~minimize:false ~objective:[ (1, 1.) ]
+    = Lp.Unbounded);
+  (* The workspace survives an unbounded query: bounded objectives still
+     answer, in either mode. *)
+  check_optimal "still answers warm" 0.
+    (Lp.Problem.solve_objective p ~minimize:true ~objective:[ (0, 1.) ]);
+  check_optimal "still answers cold" 0.
+    (Lp.Problem.solve_objective ~warm:false p ~minimize:true
+       ~objective:[ (0, 1.) ])
+
+(* Random instances: small dense systems over quarter-integer data, which
+   keeps reduced costs away from the eps window without avoiding
+   degeneracy. *)
+let gen_instance =
+  QCheck.Gen.(
+    int_range 1 4 >>= fun nvars ->
+    int_range 1 6 >>= fun nrows ->
+    let coeff = int_range (-8) 8 >|= fun k -> float_of_int k /. 2. in
+    let row =
+      list_repeat nvars coeff >>= fun coeffs ->
+      int_range 0 2 >|= fun c ->
+      let cmp = match c with 0 -> Lp.Le | 1 -> Lp.Ge | _ -> Lp.Eq in
+      (coeffs, cmp)
+    in
+    list_repeat nrows (pair row (int_range (-12) 12)) >>= fun rows ->
+    list_repeat 3 (list_repeat nvars coeff) >|= fun objectives ->
+    let cs =
+      List.map
+        (fun ((coeffs, cmp), rhs) ->
+          {
+            Lp.coeffs = List.mapi (fun j v -> (j, v)) coeffs;
+            cmp;
+            rhs = float_of_int rhs /. 2.;
+          })
+        rows
+    in
+    let objectives =
+      List.map (List.mapi (fun j v -> (j, v))) objectives
+    in
+    (nvars, cs, objectives))
+
+let print_instance (nvars, cs, _) =
+  Printf.sprintf "nvars=%d rows=%d" nvars (List.length cs)
+
+(* The workspace in replay mode is bit-identical to the one-shot solver,
+   across a whole sequence of interleaved objectives; warm mode agrees on
+   status and optimal value. *)
+let prop_problem_matches_solve =
+  QCheck.Test.make ~name:"Problem.solve_objective ≡ Lp.solve" ~count:300
+    (QCheck.make ~print:print_instance gen_instance)
+    (fun (nvars, cs, objectives) ->
+      let p = Lp.Problem.make ~nvars cs in
+      Lp.Problem.feasible_point p = Lp.feasible_point ~nvars cs
+      && List.for_all
+           (fun objective ->
+             List.for_all
+               (fun minimize ->
+                 let reference = Lp.solve ~nvars ~minimize ~objective cs in
+                 let cold =
+                   Lp.Problem.solve_objective ~warm:false p ~minimize
+                     ~objective
+                 in
+                 let warm =
+                   Lp.Problem.solve_objective p ~minimize ~objective
+                 in
+                 result_bits_eq reference cold
+                 &&
+                 match (reference, warm) with
+                 | Lp.Optimal (z1, _), Lp.Optimal (z2, _) ->
+                     Float.abs (z1 -. z2) <= 1e-6 *. (1. +. Float.abs z1)
+                 | Lp.Infeasible, Lp.Infeasible | Lp.Unbounded, Lp.Unbounded
+                   ->
+                     true
+                 | _ -> false)
+               [ false; true ])
+           objectives)
+
 let () =
   let q = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "lp"
@@ -210,5 +343,15 @@ let () =
           Alcotest.test_case "feasible point" `Quick test_feasible_point;
           Alcotest.test_case "var out of range" `Quick test_var_out_of_range;
         ] );
-      ("properties", q [ prop_box; prop_combination_feasible ]);
+      ( "workspace",
+        [
+          Alcotest.test_case "objective reuse" `Quick test_problem_reuse;
+          Alcotest.test_case "infeasible system" `Quick
+            test_problem_infeasible;
+          Alcotest.test_case "unbounded objective" `Quick
+            test_problem_unbounded;
+        ] );
+      ( "properties",
+        q [ prop_box; prop_combination_feasible; prop_problem_matches_solve ]
+      );
     ]

@@ -246,6 +246,87 @@ let prop_safe_1d_matches_bruteforce =
           Float.abs (lo -. blo) <= 1e-12 && Float.abs (hi -. bhi) <= 1e-12
       | Some _, _ -> false)
 
+(* Regression for the quadratic [List.length rest >= k] the recursive
+   enumerator used to hide: the iterative kernel must produce exactly
+   C(m, t) subsets across a whole m × t grid. *)
+let test_subsets_grid () =
+  for m = 0 to 12 do
+    let l = List.init m Fun.id in
+    for t = 0 to m do
+      let subs = Restrict.subsets ~t l in
+      Alcotest.(check int)
+        (Printf.sprintf "|subsets ~t:%d| of %d" t m)
+        (Restrict.count ~m ~t) (List.length subs)
+    done
+  done
+
+(* The list API is a view of the array kernel: same family, same order. *)
+let test_subsets_arr_consistent () =
+  let l = List.init 7 Fun.id in
+  for t = 0 to 7 do
+    let via_arr =
+      Restrict.subsets_arr ~t (Array.of_list l)
+      |> Array.map Array.to_list |> Array.to_list
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "t=%d" t)
+      true
+      (via_arr = Restrict.subsets ~t l)
+  done;
+  (* lexicographic order of the kept index sets, explicitly *)
+  Alcotest.(check bool) "lexicographic" true
+    (Restrict.subsets ~t:2 [ 0; 1; 2; 3 ]
+    = [ [ 0; 1 ]; [ 0; 2 ]; [ 0; 3 ]; [ 1; 2 ]; [ 1; 3 ]; [ 2; 3 ] ])
+
+let vec_opt_eq a b =
+  match (a, b) with
+  | None, None -> true
+  | Some u, Some w -> Vec.compare u w = 0
+  | _ -> false
+
+(* The array-native entry point the protocol now uses must be bit-identical
+   to the list path, in every dimension regime (order statistics, polygon
+   clipping, LP workspace). *)
+let prop_new_value_arr_matches =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 4 >>= fun d ->
+      int_range (d + 2) 7 >>= fun n ->
+      int_range 1 2 >>= fun t ->
+      list_repeat n (list_repeat d (float_range (-10.) 10.)) >|= fun pts ->
+      (t, List.map Vec.of_list pts))
+  in
+  QCheck.Test.make ~name:"new_value_arr ≡ new_value" ~count:60
+    (QCheck.make ~print:(fun (t, pts) ->
+         Printf.sprintf "t=%d %s" t (print_pts pts))
+       gen)
+    (fun (t, pts) ->
+      QCheck.assume (t < List.length pts);
+      vec_opt_eq
+        (Safe_area.new_value_arr ~t (Array.of_list pts))
+        (Safe_area.new_value ~t pts))
+
+(* For implicit (D ≥ 3) areas, the cached-workspace diameter must match the
+   pre-workspace one-shot search on the very same hullset. *)
+let prop_implicit_diameter_matches_reference =
+  let gen =
+    QCheck.Gen.(
+      int_range 3 4 >>= fun d ->
+      list_repeat 6 (list_repeat d (float_range (-10.) 10.)) >|= fun pts ->
+      List.map Vec.of_list pts)
+  in
+  QCheck.Test.make ~name:"implicit diameter ≡ reference" ~count:20
+    (QCheck.make ~print:print_pts gen)
+    (fun pts ->
+      match Safe_area.compute ~t:1 pts with
+      | Some (Safe_area.Implicit hs) -> (
+          let a, b = Safe_area.diameter_pair (Safe_area.Implicit hs) in
+          match Hullset.Reference.diameter_pair hs with
+          | Some (a', b') -> Vec.compare a a' = 0 && Vec.compare b b' = 0
+          | None -> false)
+      | Some _ -> false
+      | None -> QCheck.assume_fail ())
+
 let () =
   let q = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "safearea"
@@ -257,6 +338,9 @@ let () =
           Alcotest.test_case "invalid" `Quick test_restrict_invalid;
           Alcotest.test_case "order preserved" `Quick
             test_restrict_preserves_order;
+          Alcotest.test_case "count grid" `Quick test_subsets_grid;
+          Alcotest.test_case "array kernel consistent" `Quick
+            test_subsets_arr_consistent;
         ] );
       ( "safe-1d",
         [
@@ -286,5 +370,7 @@ let () =
             prop_lemma_5_8;
             prop_restrict_complete;
             prop_safe_1d_matches_bruteforce;
+            prop_new_value_arr_matches;
+            prop_implicit_diameter_matches_reference;
           ] );
     ]
