@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json ci clean
+.PHONY: all build test bench bench-json ci par-check clean
 
 all: build
 
@@ -18,6 +18,15 @@ bench-json:
 # Build + tests + a tiny-quota bench smoke run (same as scripts/ci.sh).
 ci:
 	sh scripts/ci.sh
+
+# Determinism audit: the experiment reports must be byte-identical no
+# matter how many worker domains run the sweeps.
+par-check:
+	dune build bin/experiments_main.exe
+	dune exec bin/experiments_main.exe -- --domains 1 e1 e9 e10 e15 > _build/EXP_d1.txt
+	dune exec bin/experiments_main.exe -- --domains 2 e1 e9 e10 e15 > _build/EXP_d2.txt
+	cmp _build/EXP_d1.txt _build/EXP_d2.txt
+	@echo "par-check: OK (1-domain and 2-domain reports are byte-identical)"
 
 clean:
 	dune clean

@@ -12,6 +12,9 @@
        index-array kernel
    B9  repeated LP objectives over one constraint system: one-shot solve
        vs workspace replay vs fully warm starts
+   B10 sweep throughput: one 8-seed replicated scenario batch, sequential
+       vs Runner.run_batch on a 2- and 4-domain pool (runs/sec; results
+       bit-identical by construction)
 
    Run with:  dune exec bench/main.exe
    Options:   --json FILE   also write machine-readable results (the
@@ -221,11 +224,40 @@ let b9_problem =
         (Staged.stage (workspace ~warm:true));
     ]
 
+(* B10: sweep throughput — one scenario replicated over 8 engine seeds
+   (Scenario.replicate), run sequentially vs on a 2- and 4-domain pool.
+   Results are bit-identical for every line (test_pool.ml locks that in);
+   this measures runs/sec only. Pool creation + join is inside the
+   measurement, as Runner.run_batch pays it per batch. *)
+let b10_scenarios =
+  let cfg = Config.make_exn ~n:6 ~ts:1 ~ta:0 ~d:2 ~eps:0.05 ~delta:10 in
+  let inputs =
+    List.init 6 (fun i ->
+        Vec.of_list [ float_of_int (i mod 3); float_of_int (i mod 4) ])
+  in
+  let base =
+    Scenario.make ~name:"b10" ~cfg ~inputs
+      ~policy:(Network.sync_uniform ~delta:10) ()
+  in
+  Scenario.replicate ~seeds:(List.init 8 (fun i -> Int64.of_int (i + 1))) base
+
+let b10_sweep =
+  let batch ~domains () =
+    ignore (Runner.run_batch ~domains b10_scenarios)
+  in
+  Test.make_grouped ~name:"B10 sweep throughput (8 runs)"
+    [
+      Test.make ~name:"sequential (domains=1)"
+        (Staged.stage (batch ~domains:1));
+      Test.make ~name:"pool domains=2" (Staged.stage (batch ~domains:2));
+      Test.make ~name:"pool domains=4" (Staged.stage (batch ~domains:4));
+    ]
+
 let tests =
   Test.make_grouped ~name:"maaa"
     [
       b1_safe_area; b2_representations; b3_lp; b4_hull; b5_diameter;
-      b6_protocol; b7_rbc; b8_subsets; b9_problem;
+      b6_protocol; b7_rbc; b8_subsets; b9_problem; b10_sweep;
     ]
 
 let benchmark ~quota () =
@@ -315,6 +347,14 @@ let write_json ~oc ~quota rows =
           ~baseline:"B9 16 objectives, one system/one-shot Lp.solve each"
           ~target:"B9 16 objectives, one system/workspace warm start (warm:true)"
       );
+      ( "b10_speedup_2_domains_vs_sequential",
+        speedup rows
+          ~baseline:"B10 sweep throughput (8 runs)/sequential (domains=1)"
+          ~target:"B10 sweep throughput (8 runs)/pool domains=2" );
+      ( "b10_speedup_4_domains_vs_sequential",
+        speedup rows
+          ~baseline:"B10 sweep throughput (8 runs)/sequential (domains=1)"
+          ~target:"B10 sweep throughput (8 runs)/pool domains=4" );
     ]
   in
   out "  \"derived\": {\n";
@@ -382,6 +422,14 @@ let () =
        ~target:"B5 implicit diameter D=3/warm workspace (cached)"
    with
   | Some s -> Format.printf "@.B5 warm-workspace speedup over seed: %.2fx@." s
+  | None -> ());
+  (match
+     speedup rows
+       ~baseline:"B10 sweep throughput (8 runs)/sequential (domains=1)"
+       ~target:"B10 sweep throughput (8 runs)/pool domains=4"
+   with
+  | Some s ->
+      Format.printf "B10 4-domain sweep speedup over sequential: %.2fx@." s
   | None -> ());
   match json_out with
   | None -> ()

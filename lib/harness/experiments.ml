@@ -1,5 +1,16 @@
 (* Each experiment prints a report and returns whether all its checks
-   passed. Seeds are fixed: reports are reproducible bit for bit. *)
+   passed. Seeds are fixed: reports are reproducible bit for bit.
+
+   Independent scenario batches go through [run_batch] below, which fans
+   them out to [domains] worker domains. Reports stay byte-identical for
+   any domain count because (a) scenarios are constructed — and any
+   shared input-generation Rng is consumed — before submission, (b)
+   Runner.run owns all its mutable state and never prints, and (c) all
+   formatting happens after the join, from the ordered result list. *)
+
+let domains = ref 1
+let set_domains n = domains := max 1 n
+let run_batch scenarios = Runner.run_batch ~domains:!domains scenarios
 
 let check ok msg failures =
   if not ok then failures := msg :: !failures;
@@ -97,16 +108,20 @@ let e1 () =
      corner input.";
   let cfg = Config.make_exn ~n:4 ~ts:1 ~ta:0 ~d:2 ~eps:0.25 ~delta:10 in
   let inputs = corners @ [ Vec.of_list [ 0.3; 0.3 ] ] in
+  let corrupts = [ 0; 1; 2 ] in
+  let results =
+    run_batch
+      (List.map
+         (fun corrupt ->
+           Scenario.make ~name:"e1-control" ~cfg ~inputs
+             ~corruptions:
+               [ (corrupt, Behavior.Honest_with_input (List.nth corners corrupt)) ]
+             ())
+         corrupts)
+  in
   let rows =
-    List.map
-      (fun corrupt ->
-        let r =
-          Runner.run
-            (Scenario.make ~name:"e1-control" ~cfg ~inputs
-               ~corruptions:
-                 [ (corrupt, Behavior.Honest_with_input (List.nth corners corrupt)) ]
-               ())
-        in
+    List.map2
+      (fun corrupt r ->
         let ok = r.Runner.live && r.Runner.valid && r.Runner.agreement in
         ignore
           (check ok
@@ -119,7 +134,7 @@ let e1 () =
           yn r.Runner.agreement;
           e3 r.Runner.diameter;
         ])
-      [ 0; 1; 2 ]
+      corrupts results
   in
   Table.print ~header:[ "corrupt"; "live"; "valid"; "agree"; "diam" ] rows;
   verdict failures
@@ -696,39 +711,17 @@ let e7 () =
     "End to end: full protocol runs. The witness mechanism keeps honest\n\
      views so close that the measured contraction is far better than the\n\
      worst-case bound (typically full collapse in one iteration):";
-  let run_case name cfg policy sync corruptions inputs seed =
-    let r =
-      Runner.run
-        (Scenario.make ~name ~seed ~cfg ~policy ~sync_network:sync ~corruptions
-           ~inputs ())
-    in
-    let ratios = Runner.contraction_ratios r in
-    let worst =
-      List.fold_left (fun acc (_, x) -> Float.max acc x) 0. ratios
-    in
-    ignore
-      (check
-         (r.Runner.live && r.Runner.valid && r.Runner.agreement)
-         (name ^ ": correctness failed") failures);
-    ignore
-      (check
-         (ratios = [] || worst <= Params.conv_factor +. 1e-6)
-         (name ^ ": contraction bound violated") failures);
-    [
-      name;
-      string_of_int (List.length ratios);
-      (if ratios = [] then "-" else f3 worst);
-      f3 Params.conv_factor;
-      yn (ratios = [] || worst <= Params.conv_factor +. 1e-6);
-    ]
+  let case name cfg policy sync corruptions inputs seed =
+    Scenario.make ~name ~seed ~cfg ~policy ~sync_network:sync ~corruptions
+      ~inputs ()
   in
-  let rows =
+  let cases =
     List.concat
       [
         (let cfg = Config.make_exn ~n:7 ~ts:2 ~ta:0 ~d:1 ~eps:1e-4 ~delta:10 in
          let inputs = List.init 7 (fun i -> Vec.of_list [ float_of_int (i * i) ]) in
          [
-           run_case "D=1 poison+lagger" cfg
+           case "D=1 poison+lagger" cfg
              (Network.sync_uniform ~delta:10)
              true
              [ (0, Behavior.Honest_with_input (Vec.of_list [ 1e6 ]));
@@ -739,13 +732,13 @@ let e7 () =
          let rng = Rng.create 5L in
          let inputs = Inputs.two_clusters rng ~d:2 ~n:8 ~separation:20. in
          [
-           run_case "D=2 poison+lagger" cfg
+           case "D=2 poison+lagger" cfg
              (Network.sync_uniform ~delta:10)
              true
              [ (1, Behavior.Honest_with_input (Vec.of_list [ 500.; -500. ]));
                (6, Behavior.Lagger 8) ]
              inputs 12L;
-           run_case "D=2 async heavy tail" cfg
+           case "D=2 async heavy tail" cfg
              (Network.async_heavy_tail ~base:60)
              false
              [ (1, Behavior.Honest_with_input (Vec.of_list [ 500.; -500. ])) ]
@@ -755,13 +748,38 @@ let e7 () =
          let rng = Rng.create 6L in
          let inputs = Inputs.uniform_cube rng ~d:3 ~n:6 ~side:10. in
          [
-           run_case "D=3 poison" cfg
+           case "D=3 poison" cfg
              (Network.sync_uniform ~delta:10)
              true
              [ (2, Behavior.Honest_with_input (Vec.of_list [ 100.; 100.; -100. ])) ]
              inputs 14L;
          ]);
       ]
+  in
+  let rows =
+    List.map
+      (fun r ->
+        let name = r.Runner.scenario_name in
+        let ratios = Runner.contraction_ratios r in
+        let worst =
+          List.fold_left (fun acc (_, x) -> Float.max acc x) 0. ratios
+        in
+        ignore
+          (check
+             (r.Runner.live && r.Runner.valid && r.Runner.agreement)
+             (name ^ ": correctness failed") failures);
+        ignore
+          (check
+             (ratios = [] || worst <= Params.conv_factor +. 1e-6)
+             (name ^ ": contraction bound violated") failures);
+        [
+          name;
+          string_of_int (List.length ratios);
+          (if ratios = [] then "-" else f3 worst);
+          f3 Params.conv_factor;
+          yn (ratios = [] || worst <= Params.conv_factor +. 1e-6);
+        ])
+      (run_batch cases)
   in
   Table.print
     ~header:[ "case"; "iterations"; "max ratio"; "bound"; "ok" ]
@@ -857,13 +875,16 @@ let e8 () =
 (* ------------------------------------------------------------------ *)
 
 let sweep_rows failures cases =
-  List.map
-    (fun (name, cfg, policy, sync, corruptions, inputs, seed) ->
-      let r =
-        Runner.run
-          (Scenario.make ~name ~seed ~cfg ~policy ~sync_network:sync
+  let results =
+    run_batch
+      (List.map
+         (fun (name, cfg, policy, sync, corruptions, inputs, seed) ->
+           Scenario.make ~name ~seed ~cfg ~policy ~sync_network:sync
              ~corruptions ~inputs ())
-      in
+         cases)
+  in
+  List.map2
+    (fun (name, cfg, _, _, _, _, _) r ->
       let ok = r.Runner.live && r.Runner.valid && r.Runner.agreement in
       ignore (check ok (name ^ " failed") failures);
       [
@@ -876,7 +897,7 @@ let sweep_rows failures cases =
         f3 r.Runner.completion_rounds;
         string_of_int r.Runner.stats.Engine.messages_sent;
       ])
-    cases
+    cases results
 
 let table_sweep rows =
   Table.print
@@ -959,6 +980,55 @@ let e10 () =
     ]
   in
   table_sweep (sweep_rows failures cases);
+
+  (* Statistical widening: one adversarial case replayed over six engine
+     seeds (Scenario.replicate), so the claim rests on a distribution of
+     heavy-tail schedules rather than a single draw. *)
+  print_newline ();
+  print_endline
+    "Seed-replicated sweep: \"heavy tail, 1 poison\" over 6 scheduling \
+     seeds:";
+  let rep_rng = Rng.create 246L in
+  let rep_base =
+    Scenario.make ~name:"heavy-tail-poison" ~cfg:(mk 8 2 1 2 0.05)
+      ~policy:(Network.async_heavy_tail ~base:12) ~sync_network:false
+      ~corruptions:[ (2, poison 2 300.) ]
+      ~inputs:(Inputs.two_clusters rep_rng ~d:2 ~n:8 ~separation:10.)
+      ()
+  in
+  let reps =
+    run_batch
+      (Scenario.replicate ~seeds:[ 1L; 2L; 3L; 4L; 5L; 6L ] rep_base)
+  in
+  let all_ok =
+    List.for_all
+      (fun r -> r.Runner.live && r.Runner.valid && r.Runner.agreement)
+      reps
+  in
+  let worst_diam =
+    List.fold_left (fun acc r -> Float.max acc r.Runner.diameter) 0. reps
+  in
+  let msgs =
+    Stats.summarize
+      (List.map
+         (fun r -> float_of_int r.Runner.stats.Engine.messages_sent)
+         reps)
+  in
+  let rounds =
+    Stats.summarize (List.map (fun r -> r.Runner.completion_rounds) reps)
+  in
+  Table.print
+    ~header:[ "seeds"; "all live/valid/agree"; "worst diam"; "msgs"; "rounds" ]
+    [
+      [
+        string_of_int (List.length reps);
+        yn all_ok;
+        e3 worst_diam;
+        Printf.sprintf "%.0f +- %.0f" msgs.Stats.mean msgs.Stats.stddev;
+        Printf.sprintf "%.1f +- %.1f" rounds.Stats.mean rounds.Stats.stddev;
+      ];
+    ];
+  ignore (check all_ok "replicated heavy-tail sweep had a failing seed" failures);
   verdict failures
 
 (* ------------------------------------------------------------------ *)
@@ -1181,19 +1251,23 @@ let e13 () =
       (fun i v -> if i = 7 then Vec.of_list [ 300.; -300. ] else v)
       (Inputs.uniform_cube rng ~d:2 ~n:8 ~side:10.)
   in
+  let eps_points = [ 1e-1; 1e-2; 1e-3; 1e-4 ] in
+  let results =
+    run_batch
+      (List.map
+         (fun eps ->
+           let cfg = Config.make_exn ~n:8 ~ts:2 ~ta:1 ~d:2 ~eps ~delta:10 in
+           Scenario.make ~name:"e13" ~seed:7L ~cfg ~inputs
+             ~policy:(Network.targeted_slow ~delta:10 ~victims:(fun i -> i >= 4))
+             ~corruptions:[ (7, Behavior.Lagger 5) ]
+             ())
+         eps_points)
+  in
   let prev_t = ref 0 in
   let deltas = ref [] in
   let rows =
-    List.map
-      (fun eps ->
-        let cfg = Config.make_exn ~n:8 ~ts:2 ~ta:1 ~d:2 ~eps ~delta:10 in
-        let r =
-          Runner.run
-            (Scenario.make ~name:"e13" ~seed:7L ~cfg ~inputs
-               ~policy:(Network.targeted_slow ~delta:10 ~victims:(fun i -> i >= 4))
-               ~corruptions:[ (7, Behavior.Lagger 5) ]
-               ())
-        in
+    List.map2
+      (fun eps r ->
         let ok = r.Runner.live && r.Runner.valid && r.Runner.agreement in
         ignore (check ok (Printf.sprintf "eps=%g run failed" eps) failures);
         let t_max =
@@ -1212,7 +1286,7 @@ let e13 () =
           string_of_int r.Runner.stats.Engine.messages_sent;
           yn ok;
         ])
-      [ 1e-1; 1e-2; 1e-3; 1e-4 ]
+      eps_points results
   in
   Table.print
     ~header:[ "eps"; "max T"; "output iteration"; "rounds"; "msgs"; "ok" ]
@@ -1331,31 +1405,32 @@ let e15 () =
         let ta = max 0 (min ts (n - 1 - (3 * ts))) in
         let ta = min ta 1 in
         let cfg = Config.make_exn ~n ~ts ~ta ~d:2 ~eps:0.05 ~delta:10 in
+        let seeds = [ 1; 2; 3 ] in
         let runs =
-          List.map
-            (fun seed ->
-              let rng = Rng.create (Int64.of_int (seed * 31)) in
-              let inputs = Inputs.uniform_cube rng ~d:2 ~n ~side:8. in
-              let corruptions =
-                if ts >= 1 then
-                  [ (1, Behavior.Honest_with_input (Vec.of_list [ 1e3; -1e3 ])) ]
-                else []
-              in
-              let r =
-                Runner.run
-                  (Scenario.make ~name:"e15" ~seed:(Int64.of_int seed) ~cfg
-                     ~inputs ~corruptions
-                     ~policy:(Network.sync_uniform ~delta:10)
-                     ())
-              in
-              ignore
-                (check
-                   (r.Runner.live && r.Runner.valid && r.Runner.agreement)
-                   (Printf.sprintf "n=%d seed=%d failed" n seed)
-                   failures);
-              r)
-            [ 1; 2; 3 ]
+          run_batch
+            (List.map
+               (fun seed ->
+                 let rng = Rng.create (Int64.of_int (seed * 31)) in
+                 let inputs = Inputs.uniform_cube rng ~d:2 ~n ~side:8. in
+                 let corruptions =
+                   if ts >= 1 then
+                     [ (1, Behavior.Honest_with_input (Vec.of_list [ 1e3; -1e3 ])) ]
+                   else []
+                 in
+                 Scenario.make ~name:"e15" ~seed:(Int64.of_int seed) ~cfg
+                   ~inputs ~corruptions
+                   ~policy:(Network.sync_uniform ~delta:10)
+                   ())
+               seeds)
         in
+        List.iter2
+          (fun seed r ->
+            ignore
+              (check
+                 (r.Runner.live && r.Runner.valid && r.Runner.agreement)
+                 (Printf.sprintf "n=%d seed=%d failed" n seed)
+                 failures))
+          seeds runs;
         let msgs =
           Stats.summarize
             (List.map
@@ -1398,17 +1473,21 @@ let e15 () =
      computation, benchmarked in B1. *)
   print_newline ();
   print_endline "Sweep over D (n = 10, ts = 2, ta = 1, lockstep, honest):";
+  let dims = [ 1; 2; 3 ] in
+  let results_d =
+    run_batch
+      (List.map
+         (fun d ->
+           let cfg = Config.make_exn ~n:10 ~ts:2 ~ta:1 ~d ~eps:0.05 ~delta:10 in
+           let rng = Rng.create 17L in
+           let inputs = Inputs.uniform_cube rng ~d ~n:10 ~side:5. in
+           Scenario.make ~name:"e15d" ~cfg ~inputs
+             ~policy:(Network.lockstep ~delta:10) ())
+         dims)
+  in
   let rows_d =
-    List.map
-      (fun d ->
-        let cfg = Config.make_exn ~n:10 ~ts:2 ~ta:1 ~d ~eps:0.05 ~delta:10 in
-        let rng = Rng.create 17L in
-        let inputs = Inputs.uniform_cube rng ~d ~n:10 ~side:5. in
-        let r =
-          Runner.run
-            (Scenario.make ~name:"e15d" ~cfg ~inputs
-               ~policy:(Network.lockstep ~delta:10) ())
-        in
+    List.map2
+      (fun d r ->
         ignore
           (check
              (r.Runner.live && r.Runner.valid && r.Runner.agreement)
@@ -1420,7 +1499,7 @@ let e15 () =
           string_of_int r.Runner.stats.Engine.bytes_sent;
           f3 r.Runner.completion_rounds;
         ])
-      [ 1; 2; 3 ]
+      dims results_d
   in
   Table.print ~header:[ "D"; "messages"; "bytes"; "rounds" ] rows_d;
   verdict failures
@@ -1500,6 +1579,7 @@ let e16 () =
   print_endline
     "Safety under asynchrony (heavy-tail scheduling, 3 seeds; worst output
      diameter):";
+  let seeds = [ 2L; 3L; 4L ] in
   let worst_fixed1 = ref 0. and worst_paper = ref 0. in
   List.iter
     (fun seed ->
@@ -1507,18 +1587,21 @@ let e16 () =
         run_fixed_mode ~cfg ~inputs ~tt:1
           ~policy:(Network.async_heavy_tail ~base:60) ~seed
       in
-      worst_fixed1 := Float.max !worst_fixed1 d1;
-      let rp =
-        Runner.run
-          (Scenario.make ~name:"e16a" ~seed ~cfg ~inputs ~sync_network:false
-             ~policy:(Network.async_heavy_tail ~base:60) ())
-      in
+      worst_fixed1 := Float.max !worst_fixed1 d1)
+    seeds;
+  List.iter
+    (fun rp ->
       ignore
         (check
            (rp.Runner.live && rp.Runner.valid && rp.Runner.agreement)
            "paper variant failed under heavy tail" failures);
       worst_paper := Float.max !worst_paper rp.Runner.diameter)
-    [ 2L; 3L; 4L ];
+    (run_batch
+       (List.map
+          (fun seed ->
+            Scenario.make ~name:"e16a" ~seed ~cfg ~inputs ~sync_network:false
+              ~policy:(Network.async_heavy_tail ~base:60) ())
+          seeds));
   Table.print
     ~header:[ "variant"; "worst diameter"; "eps"; "agreement" ]
     [

@@ -4,11 +4,18 @@
     [true] when every checked property held. [EXPERIMENTS.md] records the
     reference output. *)
 
+val set_domains : int -> unit
+(** Worker-domain count for the independent scenario batches inside the
+    experiments (they go through {!Runner.run_batch}). Default [1]
+    (sequential). Reports are byte-identical for any value — scenarios are
+    built before submission, results are joined back into submission
+    order, and all printing happens after the join. *)
+
 val all : (string * string * (unit -> bool)) list
-(** [(id, title, run)] for e1 … e12, in order. *)
+(** [(id, title, run)] for e1 … e16, in order. *)
 
 val run_one : string -> bool
-(** Runs the experiment with the given id ([e1] … [e12]).
+(** Runs the experiment with the given id ([e1] … [e16]).
     @raise Not_found for an unknown id. *)
 
 val run_all : unit -> bool

@@ -1,0 +1,119 @@
+(* A fixed-size domain pool over stdlib Domain/Mutex/Condition (no
+   dependencies beyond OCaml 5). Workers block on a shared job queue;
+   [map] fans a list out and reassembles results in submission order.
+
+   Determinism contract: the pool never shares mutable protocol state
+   between jobs — each job closes over its own data. Jobs run in an
+   arbitrary interleaving, so anything a job mutates must be private to
+   it, and callers must not print from inside a job (emit from the
+   ordered result list after [map] returns instead). *)
+
+type job = Job of (unit -> unit) | Stop
+
+type t = {
+  lock : Mutex.t;
+  pending : Condition.t;  (* signalled when a job (or Stop) is queued *)
+  jobs : job Queue.t;
+  mutable workers : unit Domain.t list;
+  mutable stopped : bool;
+}
+
+let rec worker_loop pool =
+  Mutex.lock pool.lock;
+  while Queue.is_empty pool.jobs do
+    Condition.wait pool.pending pool.lock
+  done;
+  let job = Queue.pop pool.jobs in
+  Mutex.unlock pool.lock;
+  match job with
+  | Stop -> ()
+  | Job f ->
+      f ();
+      worker_loop pool
+
+let create ?domains () =
+  let requested =
+    match domains with
+    | Some d -> d
+    | None -> Domain.recommended_domain_count ()
+  in
+  let size = max 1 requested in
+  let pool =
+    {
+      lock = Mutex.create ();
+      pending = Condition.create ();
+      jobs = Queue.create ();
+      workers = [];
+      stopped = false;
+    }
+  in
+  pool.workers <-
+    List.init size (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = List.length pool.workers
+
+let submit pool f =
+  Mutex.lock pool.lock;
+  if pool.stopped then begin
+    Mutex.unlock pool.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.add (Job f) pool.jobs;
+  Condition.signal pool.pending;
+  Mutex.unlock pool.lock
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  if not pool.stopped then begin
+    pool.stopped <- true;
+    List.iter (fun _ -> Queue.add Stop pool.jobs) pool.workers;
+    Condition.broadcast pool.pending;
+    Mutex.unlock pool.lock;
+    List.iter Domain.join pool.workers
+  end
+  else Mutex.unlock pool.lock
+
+(* A job that raises is recorded as [Error] in its own slot and the first
+   failure (by submission index) is re-raised only after every job has
+   finished — one bad task cannot wedge the pool or abandon its
+   siblings' results. *)
+let map pool f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let out = Array.make n None in
+  let done_lock = Mutex.create () in
+  let all_done = Condition.create () in
+  let remaining = ref n in
+  Array.iteri
+    (fun i x ->
+      submit pool (fun () ->
+          let r =
+            match f x with
+            | v -> Ok v
+            | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                Error (e, bt)
+          in
+          Mutex.lock done_lock;
+          out.(i) <- Some r;
+          decr remaining;
+          if !remaining = 0 then Condition.signal all_done;
+          Mutex.unlock done_lock))
+    items;
+  Mutex.lock done_lock;
+  while !remaining > 0 do
+    Condition.wait all_done done_lock
+  done;
+  Mutex.unlock done_lock;
+  Array.to_list
+    (Array.map
+       (function
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false (* remaining = 0 fills every slot *))
+       out)
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

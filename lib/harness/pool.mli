@@ -1,0 +1,35 @@
+(** A fixed-size pool of worker domains for embarrassingly parallel
+    scenario sweeps (stdlib [Domain]/[Mutex]/[Condition] only).
+
+    Determinism: the pool adds no randomness of its own. As long as every
+    job owns its mutable state (the harness gives each scenario its own
+    {!Engine.t}, {!Rng.t} and LP workspaces) and nothing prints from
+    inside a job, [map pool f xs] is bit-identical to [List.map f xs] for
+    any pool size — only wall-clock interleaving changes. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** Spawns [domains] worker domains (default
+    [Domain.recommended_domain_count ()], clamped to ≥ 1). *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Fans the list out to the pool and blocks until every element is done;
+    results come back in submission order. The task count may exceed the
+    pool size — excess tasks queue. If jobs raise, every job still runs
+    to completion and the exception of the {e lowest-indexed} failing
+    element is re-raised (with its backtrace); the pool stays usable. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Low-level enqueue of one fire-and-forget job.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Lets queued jobs drain, then stops and joins every worker.
+    Idempotent. *)
+
+val with_pool : ?domains:int -> (t -> 'b) -> 'b
+(** [create], run, then [shutdown] (also on exceptions). *)

@@ -55,8 +55,13 @@ let run (s : Scenario.t) =
       parties
   in
   let completion_rounds =
-    List.fold_left (fun acc (_, t) -> Float.max acc (float_of_int t)) 0. output_times
-    /. float_of_int cfg.Config.delta
+    (* Δ-rounds to the last honest output; 0. (not a fold over nothing)
+       when no honest party output at all *)
+    match output_times with
+    | [] -> 0.
+    | times ->
+        List.fold_left (fun acc (_, t) -> Float.max acc (float_of_int t)) 0. times
+        /. float_of_int cfg.Config.delta
   in
   {
     scenario_name = s.name;
@@ -81,6 +86,20 @@ let run (s : Scenario.t) =
     honest_inputs;
     traffic = Traffic.to_rows traffic;
   }
+
+(* Parallel sweeps. [run] touches no state outside its own scenario: the
+   engine, its Rng, the traffic counters and every LP workspace (inside
+   the parties' Hullsets) are created per call, and nothing in lib/ holds
+   top-level mutable state. So fanning scenarios out to a domain pool is
+   bit-identical to running them in sequence — the pool only changes
+   wall-clock interleaving. [run] also never prints; experiment reports
+   must be emitted from the ordered result list after the join. *)
+let run_batch ?(domains = 1) scenarios =
+  if domains <= 1 then List.map run scenarios
+  else
+    match scenarios with
+    | [] | [ _ ] -> List.map run scenarios
+    | _ -> Pool.with_pool ~domains (fun pool -> Pool.map pool run scenarios)
 
 (* I_it = the honest values adopted in iteration [it]; only iterations every
    honest party reached are meaningful for Lemma 5.15. *)

@@ -15,7 +15,9 @@ type result = {
   output_times : (int * int) list;
   t_estimates : (int * int) list;
   histories : (int * (int * Vec.t) list) list;
-  completion_rounds : float;  (** last honest output time / Δ *)
+  completion_rounds : float;
+      (** unit: Δ-rounds — last honest output time in ticks divided by
+          [cfg.delta]; [0.] when no honest party output (dead run) *)
   stats : Engine.stats;
   honest_inputs : Vec.t list;
   traffic : (string * int * int) list;
@@ -27,6 +29,13 @@ val run : Scenario.t -> result
     behaviours for the rest. Never raises on liveness failures — they are
     reported in the result (lower-bound experiments rely on observing
     them). *)
+
+val run_batch : ?domains:int -> Scenario.t list -> result list
+(** Runs the scenarios on a {!Pool} of [domains] worker domains (default
+    [1] = plain sequential [List.map run]) and returns the results in
+    submission order. Because every scenario owns its engine, RNG and LP
+    workspaces, the results are {e bit-identical} to the sequential run
+    for any [domains] — property-tested in [test_pool.ml]. *)
 
 val contraction_ratios : result -> (int * float) list
 (** For each iteration [it ≥ 1] completed by {e all} honest parties, the

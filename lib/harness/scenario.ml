@@ -32,6 +32,12 @@ let make ?(name = "scenario") ?(seed = 1L) ?policy ?(sync_network = true)
   in
   { name; cfg; seed; policy; sync_network; inputs; corruptions }
 
+let replicate ~seeds t =
+  List.map
+    (fun seed ->
+      { t with seed; name = Printf.sprintf "%s@%Ld" t.name seed })
+    seeds
+
 let honest t =
   List.filter
     (fun i -> not (List.mem_assoc i t.corruptions))

@@ -26,6 +26,11 @@ val make :
 (** Defaults: worst-case synchronous lockstep policy, no corruptions.
     @raise Invalid_argument on malformed inputs/corruptions. *)
 
+val replicate : seeds:int64 list -> t -> t list
+(** One copy per seed (same config, inputs, corruptions and policy), the
+    name suffixed ["@<seed>"]. The cheap way to widen a statistical sweep
+    over scheduling randomness; feed the list to {!Runner.run_batch}. *)
+
 val honest : t -> int list
 val corrupt_count : t -> int
 val honest_inputs : t -> Vec.t list

@@ -102,11 +102,11 @@ let run ?until ?(max_events = 10_000_000) t =
       ->
         continue := false
     | Some _ ->
-        let item = Option.get (Heap.pop t.queue) in
+        if t.events_processed >= max_events then
+          failwith "Engine.run: max_events exceeded (run-away protocol?)";
+        let item = Heap.pop_exn t.queue in
         t.now <- max t.now item.at;
         t.events_processed <- t.events_processed + 1;
-        if t.events_processed > max_events then
-          failwith "Engine.run: max_events exceeded (run-away protocol?)";
         (match item.ev with
         | Deliver { src; msg } ->
             t.messages_delivered <- t.messages_delivered + 1;

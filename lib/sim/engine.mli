@@ -69,9 +69,10 @@ val set_timer : 'msg t -> party:int -> at:time -> tag:int -> unit
 
 val run : ?until:time -> ?max_events:int -> 'msg t -> unit
 (** Processes events in (time, sequence) order until the queue is empty,
-    [until] is passed, or [max_events] events have fired (default
-    [10_000_000]; reaching it raises [Failure], as it indicates a
-    run-away protocol). *)
+    [until] is passed, or exactly [max_events] events have fired (default
+    [10_000_000]). Attempting to process event [max_events + 1] raises
+    [Failure] {e before} popping it, so neither the clock nor the event
+    counter move past the budget — it indicates a run-away protocol. *)
 
 val quiescent : 'msg t -> bool
 (** No pending events. *)

@@ -46,17 +46,17 @@ let push t x =
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
-let pop t =
-  if t.size = 0 then None
-  else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
-    Some top
-  end
+let pop_exn t =
+  if t.size = 0 then invalid_arg "Heap.pop_exn: empty heap";
+  let top = t.data.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.data.(0) <- t.data.(t.size);
+    sift_down t 0
+  end;
+  top
+
+let pop t = if t.size = 0 then None else Some (pop_exn t)
 
 let peek t = if t.size = 0 then None else Some t.data.(0)
 let clear t = t.size <- 0

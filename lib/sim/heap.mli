@@ -12,5 +12,9 @@ val pop : 'a t -> 'a option
     choice is deterministic (heap order), but callers should make their
     comparison total — the simulator uses a (time, sequence) key. *)
 
+val pop_exn : 'a t -> 'a
+(** Like {!pop} but without the option allocation — the engine's hot loop
+    pops after peeking. @raise Invalid_argument on an empty heap. *)
+
 val peek : 'a t -> 'a option
 val clear : 'a t -> unit

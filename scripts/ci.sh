@@ -15,6 +15,10 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+echo "== experiments smoke (2 worker domains) =="
+dune exec bin/experiments_main.exe -- --domains 2 e9 e10 > _build/EXP_smoke.txt
+grep -q 'E9' _build/EXP_smoke.txt
+
 echo "== bench smoke run =="
 dune exec bench/main.exe -- --smoke --json _build/BENCH_smoke.json
 grep -q '"schema": "maaa-bench/1"' _build/BENCH_smoke.json

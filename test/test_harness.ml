@@ -114,7 +114,11 @@ let test_runner_reports_dead_run () =
   in
   let r = Runner.run s in
   Alcotest.(check bool) "no exception; some verdict" true
-    (r.Runner.live || not r.Runner.live)
+    (r.Runner.live || not r.Runner.live);
+  (* even with no honest output the Δ-round metric stays nan-free *)
+  Alcotest.(check bool) "completion_rounds nan-free" true
+    (Float.is_finite r.Runner.completion_rounds
+    && r.Runner.completion_rounds >= 0.)
 
 (* --- Table --- *)
 

@@ -1,0 +1,151 @@
+(* Tests for the domain pool and the parallel scenario sweep path: task
+   ordering and overflow, failure isolation, and the bit-identical-replay
+   contract of Runner.run_batch. *)
+
+(* --- Pool --- *)
+
+let test_pool_order_and_overflow () =
+  (* many more tasks than workers: all run, results in submission order *)
+  Pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check int) "size" 3 (Pool.size pool);
+      let out = Pool.map pool (fun i -> i * i) (List.init 50 Fun.id) in
+      Alcotest.(check (list int))
+        "order preserved"
+        (List.init 50 (fun i -> i * i))
+        out)
+
+let test_pool_empty_map () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map pool Fun.id []))
+
+let test_pool_exception_does_not_wedge () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      (* two failing tasks: every task still runs, the lowest-indexed
+         failure is the one re-raised *)
+      (match
+         Pool.map pool
+           (fun i -> if i = 3 || i = 7 then failwith (Printf.sprintf "boom%d" i) else i)
+           (List.init 16 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected a failure to propagate"
+      | exception Failure m ->
+          Alcotest.(check string) "first failing index wins" "boom3" m);
+      (* the pool is still fully usable afterwards *)
+      let out = Pool.map pool string_of_int [ 1; 2; 3 ] in
+      Alcotest.(check (list string)) "usable after failure" [ "1"; "2"; "3" ] out)
+
+let test_pool_shutdown () =
+  let pool = Pool.create ~domains:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      Pool.submit pool (fun () -> ()))
+
+(* --- Runner.run_batch: bit-identical parallel replay --- *)
+
+(* A grid of scenarios over D in 1..3, sync/async delay policies and two
+   Byzantine behaviours. Small n keeps the D = 3 LP path affordable. *)
+let grid () =
+  let poison d = Behavior.Honest_with_input (Vec.make d 50.) in
+  List.concat_map
+    (fun (d, n, ts, ta) ->
+      let cfg = Config.make_exn ~n ~ts ~ta ~d ~eps:0.1 ~delta:10 in
+      let inputs =
+        List.init n (fun i ->
+            Vec.of_list (List.init d (fun c -> float_of_int ((i + c) mod 4))))
+      in
+      List.concat_map
+        (fun (pname, policy, sync) ->
+          List.map
+            (fun (bname, corruptions) ->
+              Scenario.make
+                ~name:(Printf.sprintf "grid D=%d %s %s" d pname bname)
+                ~seed:(Int64.of_int ((d * 97) + n))
+                ~cfg ~inputs ~policy ~sync_network:sync ~corruptions ())
+            [
+              ("silent", [ (0, Behavior.Silent) ]);
+              ("poison", [ (0, poison d) ]);
+            ])
+        [
+          ("sync", Network.sync_uniform ~delta:10, true);
+          ("async", Network.async_heavy_tail ~base:8, false);
+        ])
+    [ (1, 4, 1, 0); (2, 5, 1, 1); (3, 5, 1, 0) ]
+
+(* Structural equality over the whole result record — every field,
+   including stats and the traffic rows. [compare] (not [=]) so that any
+   NaN still compares equal to itself. *)
+let same_result a b = compare (a : Runner.result) b = 0
+
+let test_run_batch_matches_sequential () =
+  let scenarios = grid () in
+  let seq = List.map Runner.run scenarios in
+  let par = Runner.run_batch ~domains:4 scenarios in
+  Alcotest.(check int) "same count" (List.length seq) (List.length par);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (a.Runner.scenario_name ^ " bit-identical") true (same_result a b))
+    seq par
+
+let test_run_batch_domains_one_is_sequential () =
+  let scenarios = grid () in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (a.Runner.scenario_name ^ " identical") true (same_result a b))
+    (List.map Runner.run scenarios)
+    (Runner.run_batch scenarios)
+
+let test_replicate_and_batch () =
+  let cfg = Config.make_exn ~n:4 ~ts:1 ~ta:0 ~d:2 ~eps:0.1 ~delta:10 in
+  let inputs = List.init 4 (fun i -> Vec.of_list [ float_of_int i; 0. ]) in
+  let base =
+    Scenario.make ~name:"rep" ~cfg ~inputs
+      ~policy:(Network.async_heavy_tail ~base:8) ~sync_network:false ()
+  in
+  let seeds = [ 1L; 2L; 3L; 4L; 5L ] in
+  let reps = Scenario.replicate ~seeds base in
+  Alcotest.(check (list string))
+    "names carry the seed"
+    [ "rep@1"; "rep@2"; "rep@3"; "rep@4"; "rep@5" ]
+    (List.map (fun s -> s.Scenario.name) reps);
+  Alcotest.(check bool)
+    "seeds applied" true
+    (List.map (fun s -> s.Scenario.seed) reps = seeds);
+  let seq = List.map Runner.run reps in
+  let par = Runner.run_batch ~domains:3 reps in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (a.Runner.scenario_name ^ " bit-identical") true (same_result a b))
+    seq par;
+  (* different engine seeds really do explore different schedules *)
+  Alcotest.(check bool) "schedules differ across seeds" true
+    (List.length
+       (List.sort_uniq compare
+          (List.map (fun r -> r.Runner.stats.Engine.final_time) seq))
+    > 1)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "order + overflow" `Quick
+            test_pool_order_and_overflow;
+          Alcotest.test_case "empty map" `Quick test_pool_empty_map;
+          Alcotest.test_case "exception isolation" `Quick
+            test_pool_exception_does_not_wedge;
+          Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
+        ] );
+      ( "run_batch",
+        [
+          Alcotest.test_case "parallel = sequential (grid)" `Quick
+            test_run_batch_matches_sequential;
+          Alcotest.test_case "domains=1 = sequential" `Quick
+            test_run_batch_domains_one_is_sequential;
+          Alcotest.test_case "replicate + batch" `Quick test_replicate_and_batch;
+        ] );
+    ]

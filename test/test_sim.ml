@@ -64,6 +64,17 @@ let test_heap_empty () =
   Heap.clear h;
   Alcotest.(check bool) "cleared" true (Heap.is_empty h)
 
+let test_heap_pop_exn () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.check_raises "pop_exn empty"
+    (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h));
+  List.iter (Heap.push h) [ 4; 2; 9 ];
+  Alcotest.(check int) "min first" 2 (Heap.pop_exn h);
+  Alcotest.(check int) "then" 4 (Heap.pop_exn h);
+  Alcotest.(check int) "then" 9 (Heap.pop_exn h);
+  Alcotest.(check bool) "drained" true (Heap.is_empty h)
+
 let prop_heap =
   QCheck.Test.make ~name:"heap drains sorted" ~count:200
     QCheck.(list int)
@@ -150,6 +161,30 @@ let test_engine_until () =
   Alcotest.(check bool) "queue not drained" false (Engine.quiescent engine);
   Engine.run engine;
   Alcotest.(check int) "rest after" 2 !fired
+
+let test_engine_max_events_exact () =
+  (* a run needing exactly [max_events] events succeeds; one more event in
+     the queue raises without popping it (counter and clock stay put) *)
+  let mk k =
+    let engine = Engine.create ~n:1 ~policy:Network.instant () in
+    Engine.set_party engine 0 (fun _ -> ());
+    for i = 1 to k do
+      Engine.set_timer engine ~party:0 ~at:i ~tag:i
+    done;
+    engine
+  in
+  let engine = mk 5 in
+  Engine.run ~max_events:5 engine;
+  Alcotest.(check int) "exactly the budget" 5
+    (Engine.stats engine).Engine.events_processed;
+  let engine = mk 6 in
+  Alcotest.check_raises "budget + 1 raises"
+    (Failure "Engine.run: max_events exceeded (run-away protocol?)")
+    (fun () -> Engine.run ~max_events:5 engine);
+  let s = Engine.stats engine in
+  Alcotest.(check int) "counter stopped at the budget" 5
+    s.Engine.events_processed;
+  Alcotest.(check int) "clock not past the budgeted events" 5 s.Engine.final_time
 
 let test_engine_determinism () =
   let run_once () =
@@ -254,6 +289,7 @@ let () =
         [
           Alcotest.test_case "sorts" `Quick test_heap_sorts;
           Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "pop_exn" `Quick test_heap_pop_exn;
         ] );
       ( "engine",
         [
@@ -264,6 +300,8 @@ let () =
             test_engine_broadcast_and_stats;
           Alcotest.test_case "crash" `Quick test_engine_crash;
           Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "max_events exact" `Quick
+            test_engine_max_events_exact;
           Alcotest.test_case "determinism" `Quick test_engine_determinism;
           Alcotest.test_case "tracer" `Quick test_engine_tracer;
         ] );
