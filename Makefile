@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json ci par-check clean
+.PHONY: all build test bench bench-json ci par-check soak soak-smoke clean
 
 all: build
 
@@ -27,6 +27,25 @@ par-check:
 	dune exec bin/experiments_main.exe -- --domains 2 e1 e9 e10 e15 > _build/EXP_d2.txt
 	cmp _build/EXP_d1.txt _build/EXP_d2.txt
 	@echo "par-check: OK (1-domain and 2-domain reports are byte-identical)"
+
+# Randomized chaos soak: seeded (scenario x fault-plan) cases under the
+# online invariant monitor, violations shrunk to minimal reproducing
+# plans. Writes SOAK.json (schema "maaa-soak/1"):
+#   seed, mutant, cases, sync_cases, async_cases   -- the sampled grid
+#   checks, violations_total, invariants{...}      -- per-invariant totals
+#     (validity, agreement, contraction, double-output, malformed-message)
+#   missing_outputs, party_failures                -- liveness / isolation
+#   worst_final_diameter{case, value, eps}         -- tightest agreement seen
+#   violating_cases[{name, seed, sync, invariants, violations,
+#     first_violation, plan, shrunk_plan, shrink_tries, shrink_minimal}]
+# The report contains no wall-clock data and is byte-identical for any
+# --domains count. Exit code 1 iff any invariant was violated (expected
+# with --mutant non-contracting | premature-output).
+soak:
+	dune exec bin/soak_main.exe -- --cases 500 --seed 7
+
+soak-smoke:
+	dune exec bin/soak_main.exe -- --smoke --domains 2 --out _build/SOAK_smoke.json
 
 clean:
 	dune clean

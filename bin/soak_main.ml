@@ -1,0 +1,91 @@
+(* Randomized chaos soak driver.
+   Usage: soak.exe [--cases N] [--seed S] [--domains N] [--mutant M]
+                   [--out FILE] [--smoke]
+   Runs N seeded (scenario × fault-plan) cases under the online invariant
+   monitor, shrinks any violating case to a minimal reproducing plan and
+   writes a SOAK.json report (schema maaa-soak/1; see `make help-soak`).
+   Exit code 1 when any invariant was violated — which is the EXPECTED
+   outcome with --mutant, where a deliberately broken protocol variant
+   must be caught. The report is byte-identical for any --domains. *)
+
+let usage () =
+  prerr_endline
+    "usage: soak.exe [--cases N] [--seed S] [--domains N]\n\
+    \                [--mutant none|non-contracting|premature-output]\n\
+    \                [--out FILE] [--smoke]";
+  exit 2
+
+let () =
+  let cases = ref Soak.default.Soak.cases in
+  let seed = ref Soak.default.Soak.seed in
+  let domains =
+    ref
+      (match Sys.getenv_opt "MAAA_DOMAINS" with
+      | Some s -> (
+          match int_of_string_opt s with
+          | Some n when n >= 1 -> n
+          | _ ->
+              prerr_endline "soak: MAAA_DOMAINS must be a positive integer";
+              exit 2)
+      | None -> Domain.recommended_domain_count ())
+  in
+  let mutant = ref None in
+  let out_file = ref (Some "SOAK.json") in
+  let rec parse = function
+    | [] -> ()
+    | "--cases" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 ->
+            cases := n;
+            parse rest
+        | _ -> usage ())
+    | "--seed" :: v :: rest -> (
+        match Int64.of_string_opt v with
+        | Some s ->
+            seed := s;
+            parse rest
+        | None -> usage ())
+    | "--domains" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 ->
+            domains := n;
+            parse rest
+        | _ -> usage ())
+    | "--mutant" :: v :: rest -> (
+        match Soak.mutant_of_string v with
+        | Ok m ->
+            mutant := m;
+            parse rest
+        | Error msg ->
+            prerr_endline ("soak: " ^ msg);
+            usage ())
+    | "--out" :: v :: rest ->
+        out_file := (if v = "-" then None else Some v);
+        parse rest
+    | "--smoke" :: rest ->
+        cases := 60;
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let config =
+    {
+      Soak.default with
+      Soak.cases = !cases;
+      seed = !seed;
+      domains = !domains;
+      mutant = !mutant;
+    }
+  in
+  let outcome = Soak.execute config in
+  Soak.pp Format.std_formatter outcome;
+  Format.pp_print_flush Format.std_formatter ();
+  let json = Soak.to_json config outcome in
+  (match !out_file with
+  | None -> print_string json
+  | Some f ->
+      let oc = open_out f in
+      output_string oc json;
+      close_out oc;
+      Printf.printf "report: %s\n" f);
+  exit (if outcome.Soak.violations_total > 0 then 1 else 0)

@@ -1,0 +1,81 @@
+let poison_vec rng ~d =
+  Vec.of_list (List.init d (fun _ -> Rng.float_range rng (-50.) 50.))
+
+let behaviors_menu rng ~cfg ~horizon ~tick =
+  let d = cfg.Config.d in
+  match Rng.int rng 7 with
+  | 0 -> Behavior.Silent
+  | 1 -> Behavior.Crash_at (tick + Rng.int rng (max 1 (horizon - tick)))
+  | 2 -> Behavior.Honest_with_input (poison_vec rng ~d)
+  | 3 -> Behavior.Equivocate (poison_vec rng ~d, poison_vec rng ~d)
+  | 4 -> Behavior.Halt_liar (1 + Rng.int rng 3)
+  | 5 ->
+      Behavior.Spam
+        {
+          period = 1 + Rng.int rng 4;
+          payload_bytes = 32 + Rng.int rng 224;
+          until = tick + (4 * cfg.Config.delta) + Rng.int rng horizon;
+        }
+  | _ -> Behavior.Lagger (1 + Rng.int rng horizon)
+
+let window rng ~horizon ~max_len =
+  let from_tick = Rng.int rng horizon in
+  let len = 1 + Rng.int rng max_len in
+  (from_tick, from_tick + len)
+
+(* Pick [k] distinct parties outside [taken], by shuffling the candidates. *)
+let pick_parties rng ~n ~taken ~k =
+  let candidates =
+    Array.of_list
+      (List.filter (fun p -> not (List.mem p taken)) (List.init n Fun.id))
+  in
+  Rng.shuffle rng candidates;
+  Array.to_list (Array.sub candidates 0 (min k (Array.length candidates)))
+
+let sample rng ~cfg ~sync ~existing ~horizon =
+  let n = cfg.Config.n in
+  let horizon = max 1 horizon in
+  let budget =
+    max 0 ((if sync then cfg.Config.ts else cfg.Config.ta) - List.length existing)
+  in
+  let n_corrupt = if budget = 0 then 0 else Rng.int rng (budget + 1) in
+  let targets = pick_parties rng ~n ~taken:existing ~k:n_corrupt in
+  let corruptions =
+    List.map
+      (fun party ->
+        let tick = Rng.int rng horizon in
+        let behavior = behaviors_menu rng ~cfg ~horizon ~tick in
+        Fault_plan.Corrupt_at { tick; party; behavior })
+      targets
+  in
+  let n_net = Rng.int rng 4 in
+  let delta = cfg.Config.delta in
+  let net =
+    List.init n_net (fun _ ->
+        match Rng.int rng 4 with
+        | 0 ->
+            let from_tick, until_tick =
+              window rng ~horizon ~max_len:(6 * delta)
+            in
+            let group_of = Array.init n (fun _ -> Rng.int rng 2) in
+            Fault_plan.Partition { from_tick; until_tick; group_of }
+        | 1 ->
+            let from_tick, until_tick =
+              window rng ~horizon ~max_len:(6 * delta)
+            in
+            Fault_plan.Delay_spike
+              { from_tick; until_tick; factor = 2 + Rng.int rng 7 }
+        | 2 ->
+            let from_tick, until_tick =
+              window rng ~horizon ~max_len:(8 * delta)
+            in
+            Fault_plan.Duplicate
+              { from_tick; until_tick; percent = 10 + Rng.int rng 51 }
+        | _ ->
+            let from_tick, until_tick =
+              window rng ~horizon ~max_len:(6 * delta)
+            in
+            Fault_plan.Reorder
+              { from_tick; until_tick; window = 1 + Rng.int rng (3 * delta) })
+  in
+  corruptions @ net

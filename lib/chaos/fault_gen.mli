@@ -1,0 +1,25 @@
+(** Seeded sampling of random fault plans.
+
+    Every plan drawn from the same [Rng.t] state is identical, so a soak
+    case is reproducible from [(seed, scenario)] alone. Sampled plans
+    always satisfy {!Fault_plan.validate} for the given scenario shape:
+    adaptive corruptions stay inside the remaining [ts]/[ta] budget and
+    every tick lands in [\[0, horizon)]. *)
+
+val sample :
+  Rng.t ->
+  cfg:Config.t ->
+  sync:bool ->
+  existing:int list ->
+  horizon:int ->
+  Fault_plan.t
+(** [existing] are the scenario's statically corrupted parties (they cap
+    the adaptive budget and are never re-targeted). [horizon] bounds every
+    tick and window in the plan; a natural choice is a small multiple of
+    the expected run length, e.g. [40 * cfg.delta]. *)
+
+val behaviors_menu :
+  Rng.t -> cfg:Config.t -> horizon:int -> tick:int -> Behavior.t
+(** One random corruption behaviour (also used for static corruption
+    sampling in the soak driver). [tick] is when the behaviour starts
+    (bounds its internal timers). *)

@@ -1,0 +1,29 @@
+(** Deterministic counterexample shrinking for fault plans.
+
+    Given a plan that reproduces a monitor violation (as judged by the
+    caller's [reproduces] oracle — typically "re-run the scenario with this
+    plan and check the same invariant fires"), {!shrink} searches for a
+    smaller plan that still reproduces:
+
+    + {b atom removal} to a fixpoint — the result is 1-minimal: dropping
+      any single remaining atom stops reproducing (unless the try budget
+      ran out first);
+    + {b numeric shrinking} — each surviving atom's ticks are bisected
+      toward 0, windows toward length 1, factors/percentages/jitter toward
+      their weakest value, and corruption behaviours toward [Silent].
+
+    The search is deterministic: same oracle, same plan, same result. *)
+
+type outcome = {
+  plan : Fault_plan.t;  (** the smallest reproducing plan found *)
+  tries : int;  (** oracle invocations spent *)
+  minimal : bool;
+      (** true when the atom-removal fixpoint was reached within the try
+          budget (the numeric pass is always best-effort) *)
+}
+
+val shrink :
+  ?max_tries:int -> reproduces:(Fault_plan.t -> bool) -> Fault_plan.t -> outcome
+(** [max_tries] caps oracle invocations (default [200]). The initial plan
+    is assumed to reproduce; it is returned unchanged if nothing smaller
+    does. *)

@@ -14,32 +14,75 @@ type result = {
   stats : Engine.stats;
   honest_inputs : Vec.t list;
   traffic : (string * int * int) list;
+  monitor : Monitor.summary option;
 }
 
-let run (s : Scenario.t) =
+let run ?(monitor = false) (s : Scenario.t) =
   let cfg = s.Scenario.cfg in
+  let policy =
+    match s.chaos with
+    | None -> s.policy
+    | Some plan ->
+        Fault_plan.compile ~sync:s.sync_network ~delta:cfg.Config.delta
+          ~base:s.policy plan
+  in
   let engine =
     Engine.create ~seed:s.seed ~size_of:Message.size_of ~n:cfg.Config.n
-      ~policy:s.policy ()
+      ~policy ()
   in
+  if s.isolate then Engine.set_isolation engine `Isolate;
   let traffic = Traffic.create () in
-  Traffic.attach traffic engine;
   let inputs = Array.of_list s.inputs in
   let honest_ids = Scenario.honest s in
+  let graded = Scenario.graded_honest s in
+  let honest_inputs = Scenario.honest_inputs s in
+  let mon =
+    if monitor then Some (Monitor.create ~cfg ~honest:graded ~honest_inputs)
+    else None
+  in
+  (match mon with
+  | None -> Traffic.attach traffic engine
+  | Some m ->
+      Engine.set_tracer engine (fun ev ->
+          Traffic.observe traffic ev;
+          Monitor.on_trace m ev));
   let parties =
-    List.map (fun i -> (i, Party.attach ~cfg ~me:i engine)) honest_ids
+    List.map
+      (fun i ->
+        let callbacks =
+          match mon with
+          | Some m when List.mem i graded ->
+              {
+                Party.on_iteration =
+                  (fun ~iter v ->
+                    Monitor.on_iteration m ~party:i ~now:(Engine.now engine)
+                      ~iter v);
+                on_output =
+                  (fun ~iter v ->
+                    Monitor.on_output m ~party:i ~now:(Engine.now engine)
+                      ~iter v);
+              }
+          | _ -> Party.no_callbacks
+        in
+        (i, Party.attach ~callbacks ?mutant:s.mutant ~cfg ~me:i engine))
+      honest_ids
   in
   List.iter
     (fun (i, b) -> Behavior.install engine ~cfg ~me:i ~input:inputs.(i) b)
     s.corruptions;
+  (match s.chaos with
+  | None -> ()
+  | Some plan -> Fault_plan.install engine ~cfg ~inputs plan);
   List.iter (fun (i, p) -> Party.start p inputs.(i)) parties;
   Engine.run engine;
+  (* Adaptive chaos targets run the protocol but are graded as corrupt:
+     every reported metric below is over the still-honest parties. *)
+  let parties = List.filter (fun (i, _) -> List.mem i graded) parties in
   let outputs =
     List.filter_map
       (fun (i, p) -> Option.map (fun v -> (i, v)) (Party.output p))
       parties
   in
-  let honest_inputs = Scenario.honest_inputs s in
   let live = List.length outputs = List.length parties in
   let valid =
     outputs <> []
@@ -85,6 +128,7 @@ let run (s : Scenario.t) =
     stats = Engine.stats engine;
     honest_inputs;
     traffic = Traffic.to_rows traffic;
+    monitor = Option.map Monitor.summary mon;
   }
 
 (* Parallel sweeps. [run] touches no state outside its own scenario: the
@@ -94,7 +138,8 @@ let run (s : Scenario.t) =
    bit-identical to running them in sequence — the pool only changes
    wall-clock interleaving. [run] also never prints; experiment reports
    must be emitted from the ordered result list after the join. *)
-let run_batch ?(domains = 1) scenarios =
+let run_batch ?(domains = 1) ?(monitor = false) scenarios =
+  let run s = run ~monitor s in
   if domains <= 1 then List.map run scenarios
   else
     match scenarios with
@@ -132,4 +177,10 @@ let pp_summary ppf r =
   Format.fprintf ppf
     "%s: live=%b valid=%b agreement=%b diam=%.3e (eps=%g) rounds=%.1f msgs=%d"
     r.scenario_name r.live r.valid r.agreement r.diameter r.eps
-    r.completion_rounds r.stats.Engine.messages_sent
+    r.completion_rounds r.stats.Engine.messages_sent;
+  match r.monitor with
+  | None -> ()
+  | Some m -> (
+      match Monitor.total_violations m with
+      | 0 -> Format.fprintf ppf " monitor=ok(%d checks)" m.Monitor.checks
+      | n -> Format.fprintf ppf " monitor=%d VIOLATIONS" n)

@@ -22,20 +22,30 @@ type result = {
   honest_inputs : Vec.t list;
   traffic : (string * int * int) list;
       (** per-primitive (class, messages, bytes), see {!Traffic} *)
+  monitor : Monitor.summary option;
+      (** the online invariant monitor's verdict (violation counts, worst
+          final diameter vs ε, …); [Some] iff the run was started with
+          [~monitor:true] *)
 }
 
-val run : Scenario.t -> result
+val run : ?monitor:bool -> Scenario.t -> result
 (** Runs ΠAA for every honest party and installs the scenario's Byzantine
-    behaviours for the rest. Never raises on liveness failures — they are
+    behaviours for the rest; a chaos fault plan in the scenario is compiled
+    into the delay policy and installed on the engine. With
+    [~monitor:true] (default false) an online {!Monitor} watches the run
+    and its summary lands in the result. Metrics are graded over the
+    parties that stay honest for the whole run (adaptive chaos targets are
+    graded as corrupt). Never raises on liveness failures — they are
     reported in the result (lower-bound experiments rely on observing
     them). *)
 
-val run_batch : ?domains:int -> Scenario.t list -> result list
+val run_batch : ?domains:int -> ?monitor:bool -> Scenario.t list -> result list
 (** Runs the scenarios on a {!Pool} of [domains] worker domains (default
     [1] = plain sequential [List.map run]) and returns the results in
-    submission order. Because every scenario owns its engine, RNG and LP
-    workspaces, the results are {e bit-identical} to the sequential run
-    for any [domains] — property-tested in [test_pool.ml]. *)
+    submission order. Because every scenario owns its engine, RNG, LP
+    workspaces and monitor, the results are {e bit-identical} to the
+    sequential run for any [domains] — property-tested in [test_pool.ml]
+    and [test_chaos.ml]. *)
 
 val contraction_ratios : result -> (int * float) list
 (** For each iteration [it ≥ 1] completed by {e all} honest parties, the

@@ -6,10 +6,13 @@ type t = {
   sync_network : bool;
   inputs : Vec.t list;
   corruptions : (int * Behavior.t) list;
+  chaos : Fault_plan.t option;
+  mutant : Party.mutant option;
+  isolate : bool;
 }
 
 let make ?(name = "scenario") ?(seed = 1L) ?policy ?(sync_network = true)
-    ?(corruptions = []) ~cfg ~inputs () =
+    ?(corruptions = []) ?chaos ?mutant ?(isolate = false) ~cfg ~inputs () =
   if List.length inputs <> cfg.Config.n then
     invalid_arg "Scenario.make: need one input per party";
   List.iter
@@ -25,12 +28,29 @@ let make ?(name = "scenario") ?(seed = 1L) ?policy ?(sync_network = true)
   let ids = List.map fst corruptions in
   if List.length (List.sort_uniq compare ids) <> List.length ids then
     invalid_arg "Scenario.make: duplicate corruption";
+  (match chaos with
+  | None -> ()
+  | Some plan -> (
+      match Fault_plan.validate ~cfg ~sync:sync_network ~existing:ids plan with
+      | Ok () -> ()
+      | Error msg -> invalid_arg ("Scenario.make: bad fault plan: " ^ msg)));
   let policy =
     match policy with
     | Some p -> p
     | None -> Network.lockstep ~delta:cfg.Config.delta
   in
-  { name; cfg; seed; policy; sync_network; inputs; corruptions }
+  {
+    name;
+    cfg;
+    seed;
+    policy;
+    sync_network;
+    inputs;
+    corruptions;
+    chaos;
+    mutant;
+    isolate;
+  }
 
 let replicate ~seeds t =
   List.map
@@ -43,8 +63,16 @@ let honest t =
     (fun i -> not (List.mem_assoc i t.corruptions))
     (List.init t.cfg.Config.n Fun.id)
 
-let corrupt_count t = List.length t.corruptions
+let chaos_corrupted t =
+  match t.chaos with None -> [] | Some plan -> Fault_plan.corrupted plan
+
+let graded_honest t =
+  let adaptive = chaos_corrupted t in
+  List.filter (fun i -> not (List.mem i adaptive)) (honest t)
+
+let corrupt_count t =
+  List.length t.corruptions + List.length (chaos_corrupted t)
 
 let honest_inputs t =
   let inputs = Array.of_list t.inputs in
-  List.map (fun i -> inputs.(i)) (honest t)
+  List.map (fun i -> inputs.(i)) (graded_honest t)

@@ -1,5 +1,6 @@
-(** A complete experiment description: configuration, network, inputs and
-    corruptions. Running one is a pure function of this record. *)
+(** A complete experiment description: configuration, network, inputs,
+    corruptions and (optionally) a chaos fault plan. Running one is a pure
+    function of this record. *)
 
 type t = {
   name : string;
@@ -11,6 +12,17 @@ type t = {
           budget ([ts] or [ta]) the run is graded against *)
   inputs : Vec.t list;  (** one per party, including corrupted ones *)
   corruptions : (int * Behavior.t) list;  (** party id ↦ behaviour *)
+  chaos : Fault_plan.t option;
+      (** seeded fault plan layered on top of [policy] and [corruptions]
+          (see {!Fault_plan}); adaptive corruption targets count against
+          the same [ts]/[ta] budget *)
+  mutant : Party.mutant option;
+      (** deliberately broken protocol variant — only for proving the
+          monitor detects real bugs *)
+  isolate : bool;
+      (** run the engine under [`Isolate]: a party-handler exception
+          records a failure and crashes that party instead of aborting the
+          whole run (and, in pooled sweeps, the whole batch) *)
 }
 
 val make :
@@ -19,12 +31,18 @@ val make :
   ?policy:Engine.delay_policy ->
   ?sync_network:bool ->
   ?corruptions:(int * Behavior.t) list ->
+  ?chaos:Fault_plan.t ->
+  ?mutant:Party.mutant ->
+  ?isolate:bool ->
   cfg:Config.t ->
   inputs:Vec.t list ->
   unit ->
   t
-(** Defaults: worst-case synchronous lockstep policy, no corruptions.
-    @raise Invalid_argument on malformed inputs/corruptions. *)
+(** Defaults: worst-case synchronous lockstep policy, no corruptions, no
+    chaos plan, real protocol, fail-fast engine.
+    @raise Invalid_argument on malformed inputs/corruptions, or when the
+    fault plan fails {!Fault_plan.validate} (out-of-range or duplicate
+    targets, corruption budget exceeded, bad windows). *)
 
 val replicate : seeds:int64 list -> t -> t list
 (** One copy per seed (same config, inputs, corruptions and policy), the
@@ -32,5 +50,18 @@ val replicate : seeds:int64 list -> t -> t list
     over scheduling randomness; feed the list to {!Runner.run_batch}. *)
 
 val honest : t -> int list
+(** Parties without a static corruption (adaptive chaos targets are still
+    listed — they start the run honest). *)
+
+val chaos_corrupted : t -> int list
+(** Targets of the fault plan's adaptive corruptions, sorted. *)
+
+val graded_honest : t -> int list
+(** The parties the run's properties are graded against: honest {e and}
+    never adaptively corrupted. Equals {!honest} when [chaos] is absent. *)
+
 val corrupt_count : t -> int
+(** Static plus adaptive corruptions. *)
+
 val honest_inputs : t -> Vec.t list
+(** Inputs of the {!graded_honest} parties. *)

@@ -1,0 +1,323 @@
+type config = {
+  cases : int;
+  seed : int64;
+  domains : int;
+  mutant : Party.mutant option;
+  max_shrink : int;
+}
+
+let default =
+  { cases = 500; seed = 7L; domains = 1; mutant = None; max_shrink = 200 }
+
+let mutant_to_string = function
+  | None -> "none"
+  | Some Party.Non_contracting_update -> "non-contracting"
+  | Some Party.Premature_output -> "premature-output"
+
+let mutant_of_string = function
+  | "none" -> Ok None
+  | "non-contracting" -> Ok (Some Party.Non_contracting_update)
+  | "premature-output" -> Ok (Some Party.Premature_output)
+  | s ->
+      Error
+        (Printf.sprintf
+           "unknown mutant %S (expected none|non-contracting|premature-output)"
+           s)
+
+type violating_case = {
+  vc_name : string;
+  vc_seed : int64;
+  vc_sync : bool;
+  vc_invariants : string list;
+  vc_violations : Monitor.violation list;
+  vc_plan : Fault_plan.t;
+  vc_shrunk : Fault_shrink.outcome;
+}
+
+type outcome = {
+  total : int;
+  sync_cases : int;
+  async_cases : int;
+  checks : int;
+  counts : (string * int) list;
+  violations_total : int;
+  missing_outputs : int;
+  party_failures : int;
+  worst_diameter : float;
+  worst_diameter_eps : float;
+  worst_diameter_case : string;
+  violating : violating_case list;
+}
+
+(* Configs at the paper's resilience bounds ((D+1)·ts + ta < n, n > 3·ts);
+   the last is tight: 3·2 + 2 = 8 = n − 1. *)
+let grid_configs =
+  [
+    Config.make_exn ~n:8 ~ts:2 ~ta:1 ~d:2 ~eps:0.05 ~delta:10;
+    Config.make_exn ~n:6 ~ts:1 ~ta:1 ~d:1 ~eps:0.02 ~delta:8;
+    Config.make_exn ~n:9 ~ts:2 ~ta:2 ~d:2 ~eps:0.1 ~delta:10;
+  ]
+
+let sample_inputs rng (cfg : Config.t) =
+  let d = cfg.Config.d and n = cfg.Config.n in
+  match Rng.int rng 4 with
+  | 0 -> Inputs.simplex_corners ~d ~scale:10. ~n
+  | 1 -> Inputs.uniform_cube rng ~d ~n ~side:5.
+  | 2 -> Inputs.two_clusters rng ~d ~n ~separation:8.
+  | _ -> Inputs.gaussian_cluster rng ~d ~n ~center:(Vec.make d 1.) ~spread:2.
+
+let sample_policy rng ~sync ~static (cfg : Config.t) =
+  let delta = cfg.Config.delta in
+  if sync then
+    match Rng.int rng 3 with
+    | 0 -> Network.lockstep ~delta
+    | 1 -> Network.sync_uniform ~delta
+    | _ -> Network.rushing ~delta ~corrupt:(fun p -> List.mem p static)
+  else
+    match Rng.int rng 2 with
+    | 0 -> Network.async_uniform ~max_delay:(4 * delta)
+    | _ -> Network.async_heavy_tail ~base:delta
+
+let build_case ~mutant rng i =
+  let cfg = List.nth grid_configs (Rng.int rng (List.length grid_configs)) in
+  let sync = i mod 2 = 0 in
+  let horizon = 40 * cfg.Config.delta in
+  let inputs = sample_inputs rng cfg in
+  let budget = if sync then cfg.Config.ts else cfg.Config.ta in
+  let n_static = Rng.int rng (budget + 1) in
+  let ids = Array.init cfg.Config.n Fun.id in
+  Rng.shuffle rng ids;
+  let static = Array.to_list (Array.sub ids 0 n_static) in
+  let corruptions =
+    List.map (fun p -> (p, Fault_gen.behaviors_menu rng ~cfg ~horizon ~tick:0)) static
+  in
+  let chaos = Fault_gen.sample rng ~cfg ~sync ~existing:static ~horizon in
+  let policy = sample_policy rng ~sync ~static cfg in
+  let seed = Rng.next_int64 rng in
+  Scenario.make
+    ~name:(Printf.sprintf "soak-%04d" i)
+    ~seed ~policy ~sync_network:sync ~corruptions ~chaos ?mutant ~isolate:true
+    ~cfg ~inputs ()
+
+let build_scenarios config =
+  let master = Rng.create config.seed in
+  let rec go i acc =
+    if i >= config.cases then List.rev acc
+    else
+      (* split first so each case owns an independent stream derived only
+         from the master's position, not from earlier cases' draw counts *)
+      let rng = Rng.split master in
+      go (i + 1) (build_case ~mutant:config.mutant rng i :: acc)
+  in
+  go 0 []
+
+let violated_invariants (m : Monitor.summary) =
+  List.filter_map
+    (fun (name, c) -> if c > 0 then Some name else None)
+    m.Monitor.counts
+
+let shrink_case ~max_shrink (scen : Scenario.t) (m : Monitor.summary) =
+  let target = violated_invariants m in
+  let reproduces plan' =
+    let r = Runner.run ~monitor:true { scen with Scenario.chaos = Some plan' } in
+    match r.Runner.monitor with
+    | Some m' ->
+        List.exists
+          (fun (name, c) -> c > 0 && List.mem name target)
+          m'.Monitor.counts
+    | None -> false
+  in
+  let plan = Option.value scen.Scenario.chaos ~default:[] in
+  Fault_shrink.shrink ~max_tries:max_shrink ~reproduces plan
+
+let monitor_exn name = function
+  | Some (m : Monitor.summary) -> m
+  | None -> invalid_arg ("Soak: no monitor summary for " ^ name)
+
+let execute config =
+  let scenarios = build_scenarios config in
+  let results =
+    Runner.run_batch ~domains:config.domains ~monitor:true scenarios
+  in
+  let pairs =
+    List.map2
+      (fun (s : Scenario.t) (r : Runner.result) ->
+        (s, r, monitor_exn s.Scenario.name r.Runner.monitor))
+      scenarios results
+  in
+  let sum f = List.fold_left (fun acc (_, r, m) -> acc + f r m) 0 pairs in
+  let checks = sum (fun _ (m : Monitor.summary) -> m.Monitor.checks) in
+  let counts =
+    List.map
+      (fun inv ->
+        let name = Monitor.invariant_name inv in
+        ( name,
+          sum (fun _ (m : Monitor.summary) ->
+              match List.assoc_opt name m.Monitor.counts with
+              | Some c -> c
+              | None -> 0) ))
+      Monitor.all_invariants
+  in
+  let violations_total = List.fold_left (fun a (_, c) -> a + c) 0 counts in
+  let missing_outputs =
+    sum (fun _ (m : Monitor.summary) ->
+        m.Monitor.honest_expected - m.Monitor.honest_outputs)
+  in
+  let party_failures =
+    sum (fun (r : Runner.result) _ -> r.Runner.stats.Engine.party_failures)
+  in
+  let worst_diameter, worst_diameter_eps, worst_diameter_case =
+    List.fold_left
+      (fun ((best, _, _) as acc) ((s : Scenario.t), _, (m : Monitor.summary)) ->
+        if m.Monitor.final_diameter > best then
+          (m.Monitor.final_diameter, m.Monitor.eps, s.Scenario.name)
+        else acc)
+      (-1., 0., "") pairs
+  in
+  let violating =
+    List.filter_map
+      (fun ((s : Scenario.t), _, (m : Monitor.summary)) ->
+        if Monitor.total_violations m = 0 then None
+        else
+          let shrunk = shrink_case ~max_shrink:config.max_shrink s m in
+          Some
+            {
+              vc_name = s.Scenario.name;
+              vc_seed = s.Scenario.seed;
+              vc_sync = s.Scenario.sync_network;
+              vc_invariants = violated_invariants m;
+              vc_violations = m.Monitor.violations;
+              vc_plan = Option.value s.Scenario.chaos ~default:[];
+              vc_shrunk = shrunk;
+            })
+      pairs
+  in
+  let sync_cases =
+    List.length (List.filter (fun (s, _, _) -> s.Scenario.sync_network) pairs)
+  in
+  {
+    total = List.length pairs;
+    sync_cases;
+    async_cases = List.length pairs - sync_cases;
+    checks;
+    counts;
+    violations_total;
+    missing_outputs;
+    party_failures;
+    worst_diameter = (if worst_diameter < 0. then 0. else worst_diameter);
+    worst_diameter_eps;
+    worst_diameter_case;
+    violating;
+  }
+
+(* -- JSON report -- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float v =
+  if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
+
+let json_strings lst =
+  "[" ^ String.concat ", " (List.map (fun s -> "\"" ^ json_escape s ^ "\"") lst)
+  ^ "]"
+
+(* No wall-clock values and no [domains]-dependent fields: the document must
+   be byte-identical for any worker count (tested in test_chaos.ml). *)
+let to_json config (o : outcome) =
+  let b = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  out "{\n";
+  out "  \"schema\": \"maaa-soak/1\",\n";
+  out "  \"seed\": %Ld,\n" config.seed;
+  out "  \"mutant\": \"%s\",\n" (mutant_to_string config.mutant);
+  out "  \"cases\": %d,\n" o.total;
+  out "  \"sync_cases\": %d,\n" o.sync_cases;
+  out "  \"async_cases\": %d,\n" o.async_cases;
+  out "  \"checks\": %d,\n" o.checks;
+  out "  \"violations_total\": %d,\n" o.violations_total;
+  out "  \"invariants\": {%s},\n"
+    (String.concat ", "
+       (List.map
+          (fun (name, c) -> Printf.sprintf "\"%s\": %d" (json_escape name) c)
+          o.counts));
+  out "  \"missing_outputs\": %d,\n" o.missing_outputs;
+  out "  \"party_failures\": %d,\n" o.party_failures;
+  out "  \"worst_final_diameter\": {\"case\": \"%s\", \"value\": %s, \"eps\": %s},\n"
+    (json_escape o.worst_diameter_case)
+    (json_float o.worst_diameter)
+    (json_float o.worst_diameter_eps);
+  out "  \"violating_cases\": [";
+  List.iteri
+    (fun k vc ->
+      if k > 0 then out ",";
+      out "\n    {\n";
+      out "      \"name\": \"%s\",\n" (json_escape vc.vc_name);
+      out "      \"seed\": %Ld,\n" vc.vc_seed;
+      out "      \"sync\": %b,\n" vc.vc_sync;
+      out "      \"invariants\": %s,\n" (json_strings vc.vc_invariants);
+      out "      \"violations\": %d,\n" (List.length vc.vc_violations);
+      (match vc.vc_violations with
+      | [] -> ()
+      | v :: _ ->
+          out "      \"first_violation\": \"%s\",\n"
+            (json_escape
+               (Printf.sprintf "[%s] party=%d t=%d %s"
+                  (Monitor.invariant_name v.Monitor.invariant)
+                  v.Monitor.party v.Monitor.time v.Monitor.detail)));
+      out "      \"plan\": %s,\n" (json_strings (Fault_plan.to_strings vc.vc_plan));
+      out "      \"shrunk_plan\": %s,\n"
+        (json_strings (Fault_plan.to_strings vc.vc_shrunk.Fault_shrink.plan));
+      out "      \"shrink_tries\": %d,\n" vc.vc_shrunk.Fault_shrink.tries;
+      out "      \"shrink_minimal\": %b\n" vc.vc_shrunk.Fault_shrink.minimal;
+      out "    }")
+    o.violating;
+  if o.violating <> [] then out "\n  ";
+  out "]\n";
+  out "}\n";
+  Buffer.contents b
+
+let pp ppf (o : outcome) =
+  Format.fprintf ppf
+    "soak: %d cases (%d sync, %d async), %d checks, %d violations@."
+    o.total o.sync_cases o.async_cases o.checks o.violations_total;
+  List.iter
+    (fun (name, c) -> Format.fprintf ppf "  %-18s %d@." name c)
+    o.counts;
+  Format.fprintf ppf "  missing outputs: %d, isolated failures: %d@."
+    o.missing_outputs o.party_failures;
+  if o.worst_diameter_case <> "" then
+    Format.fprintf ppf "  worst final diameter: %.3e (eps=%g) in %s@."
+      o.worst_diameter o.worst_diameter_eps o.worst_diameter_case;
+  List.iter
+    (fun vc ->
+      Format.fprintf ppf "  VIOLATION %s (seed=%Ld, %s): %s@." vc.vc_name
+        vc.vc_seed
+        (if vc.vc_sync then "sync" else "async")
+        (String.concat "," vc.vc_invariants);
+      List.iteri
+        (fun k (v : Monitor.violation) ->
+          if k < 3 then
+            Format.fprintf ppf "    [%s] party=%d t=%d %s@."
+              (Monitor.invariant_name v.Monitor.invariant)
+              v.Monitor.party v.Monitor.time v.Monitor.detail)
+        vc.vc_violations;
+      Format.fprintf ppf "    plan: %s@."
+        (String.concat "; " (Fault_plan.to_strings vc.vc_plan));
+      Format.fprintf ppf "    shrunk (%d tries, minimal=%b): %s@."
+        vc.vc_shrunk.Fault_shrink.tries vc.vc_shrunk.Fault_shrink.minimal
+        (match Fault_plan.to_strings vc.vc_shrunk.Fault_shrink.plan with
+        | [] -> "<empty plan — the protocol variant itself violates>"
+        | atoms -> String.concat "; " atoms))
+    o.violating

@@ -1,0 +1,70 @@
+(** Randomized chaos soak: thousands of seeded (scenario × fault-plan)
+    cases fanned across the {!Pool} domains, each watched by the online
+    {!Monitor}, with deterministic counterexample shrinking on any
+    violation.
+
+    Everything is a pure function of {!config}: the case grid is generated
+    up front from one RNG stream, results are joined back in submission
+    order and shrinking re-runs cases sequentially after the join — so the
+    produced report (and its JSON rendering) is byte-identical for any
+    [domains] count. *)
+
+type config = {
+  cases : int;  (** number of (scenario × fault-plan) cases *)
+  seed : int64;  (** master seed; every case derives from it *)
+  domains : int;  (** worker domains for the sweep *)
+  mutant : Party.mutant option;
+      (** run a deliberately broken protocol variant instead of the real
+          one — the monitor must then flag violations *)
+  max_shrink : int;  (** shrinker oracle budget per violating case *)
+}
+
+val default : config
+(** 500 cases, seed 7, 1 domain, real protocol, 200 shrink tries. *)
+
+val mutant_of_string : string -> (Party.mutant option, string) result
+(** ["none"], ["non-contracting"], ["premature-output"]. *)
+
+val mutant_to_string : Party.mutant option -> string
+
+type violating_case = {
+  vc_name : string;
+  vc_seed : int64;  (** the case's scenario seed *)
+  vc_sync : bool;
+  vc_invariants : string list;  (** violated invariant names *)
+  vc_violations : Monitor.violation list;
+  vc_plan : Fault_plan.t;  (** the sampled plan *)
+  vc_shrunk : Fault_shrink.outcome;  (** minimal reproducing plan *)
+}
+
+type outcome = {
+  total : int;
+  sync_cases : int;
+  async_cases : int;
+  checks : int;  (** monitor invariant evaluations across all cases *)
+  counts : (string * int) list;  (** per-invariant violation totals *)
+  violations_total : int;
+  missing_outputs : int;  (** graded-honest parties that never output *)
+  party_failures : int;  (** handler exceptions isolated by the engine *)
+  worst_diameter : float;
+  worst_diameter_eps : float;
+  worst_diameter_case : string;
+  violating : violating_case list;
+}
+
+val build_scenarios : config -> Scenario.t list
+(** The seeded case grid: alternating sync/async network modes over several
+    feasible configs at the paper's resilience bounds, random workloads,
+    random static corruptions and a {!Fault_gen}-sampled chaos plan, all
+    within the mode's [ts]/[ta] budget. Scenarios run [isolate]d. *)
+
+val execute : config -> outcome
+(** Build, sweep ([Runner.run_batch ~monitor:true]), aggregate, and shrink
+    each violating case to a minimal reproducing plan. *)
+
+val to_json : config -> outcome -> string
+(** The [SOAK.json] document (schema ["maaa-soak/1"]; field list documented
+    in the Makefile's soak help). Deterministic: contains no wall-clock
+    values and no [domains]-dependent data. *)
+
+val pp : Format.formatter -> outcome -> unit

@@ -44,13 +44,14 @@ type t = { counts : int array; byte_counts : int array }
 
 let create () = { counts = Array.make 7 0; byte_counts = Array.make 7 0 }
 
-let attach t engine =
-  Engine.set_tracer engine (function
-    | Engine.Sent { msg; _ } ->
-        let i = index (klass_of msg) in
-        t.counts.(i) <- t.counts.(i) + 1;
-        t.byte_counts.(i) <- t.byte_counts.(i) + Message.size_of msg
-    | Engine.Delivered _ | Engine.Timer_fired _ -> ())
+let observe t = function
+  | Engine.Sent { msg; _ } ->
+      let i = index (klass_of msg) in
+      t.counts.(i) <- t.counts.(i) + 1;
+      t.byte_counts.(i) <- t.byte_counts.(i) + Message.size_of msg
+  | Engine.Delivered _ | Engine.Timer_fired _ | Engine.Party_failed _ -> ()
+
+let attach t engine = Engine.set_tracer engine (observe t)
 
 let count t k = t.counts.(index k)
 let bytes t k = t.byte_counts.(index k)

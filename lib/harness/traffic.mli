@@ -24,6 +24,10 @@ val create : unit -> t
 val attach : t -> Message.t Engine.t -> unit
 (** Installs the counters as the engine's tracer. *)
 
+val observe : t -> Message.t Engine.trace_event -> unit
+(** The raw counting hook behind {!attach}, for callers that need to fan
+    one engine tracer out to several consumers (e.g. traffic + monitor). *)
+
 val count : t -> klass -> int
 val bytes : t -> klass -> int
 val total : t -> int

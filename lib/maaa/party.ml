@@ -7,10 +7,17 @@ let no_callbacks = { on_iteration = (fun ~iter:_ _ -> ()); on_output = (fun ~ite
 
 type mode = Estimate | Fixed_t of int
 
+type mutant = Non_contracting_update | Premature_output
+
+(* Far outside every workload's honest-input hull: one adoption with this
+   offset breaks both per-iteration containment and validity. *)
+let mutant_drift d = Vec.basis ~dim:d 0 100.
+
 type t = {
   cfg : Config.t;
   me : int;
   mode : mode;
+  mutant : mutant option;
   cbs : callbacks;
   now : unit -> int;
   send_all : Message.t -> unit;
@@ -112,6 +119,11 @@ and on_obc_output t it mset =
     let trim = max k t.cfg.ta in
     match Safe_area.new_value_arr ~t:trim (Pairset.values_arr mset) with
     | Some v ->
+        let v =
+          match t.mutant with
+          | Some Non_contracting_update -> Vec.add v (mutant_drift t.cfg.d)
+          | _ -> v
+        in
         t.pending_value <- Some v;
         try_advance t
     | None ->
@@ -174,13 +186,14 @@ let on_rbc_deliver t (id : Message.rbc_id) payload =
       try_halt_output t
   | _ -> ()
 
-let create ?(callbacks = no_callbacks) ?(mode = Estimate) ~cfg ~me ~now
-    ~send_all ~set_timer () =
+let create ?(callbacks = no_callbacks) ?(mode = Estimate) ?mutant ~cfg ~me
+    ~now ~send_all ~set_timer () =
   let t =
     {
       cfg;
       me;
       mode;
+      mutant;
       cbs = callbacks;
       now;
       send_all;
@@ -226,9 +239,15 @@ let start t v =
   if t.started then invalid_arg "Party.start: already started";
   if Vec.dim v <> t.cfg.d then invalid_arg "Party.start: wrong dimension";
   t.started <- true;
-  match t.mode with
-  | Estimate -> Init_round.start (Option.get t.init) v
-  | Fixed_t tt ->
+  match (t.mutant, t.mode) with
+  | Some Premature_output, _ ->
+      (* the loosened-ε mutant: "already within ε of everyone" *)
+      t.output <- Some v;
+      t.output_iter <- Some 0;
+      t.output_time <- Some (t.now ());
+      t.cbs.on_output ~iter:0 v
+  | _, Estimate -> Init_round.start (Option.get t.init) v
+  | _, Fixed_t tt ->
       (* known-bounds variant: the input itself seeds iteration 1 *)
       if tt < 1 then invalid_arg "Party.start: Fixed_t needs T >= 1";
       t.init <- None;
@@ -267,9 +286,9 @@ let handle t (ev : Message.t Engine.event) =
           | _ -> ())
       | Message.Sync_round _ | Message.Junk _ -> ())
 
-let attach ?callbacks ?mode ~cfg ~me engine =
+let attach ?callbacks ?mode ?mutant ~cfg ~me engine =
   let t =
-    create ?callbacks ?mode ~cfg ~me
+    create ?callbacks ?mode ?mutant ~cfg ~me
       ~now:(fun () -> Engine.now engine)
       ~send_all:(fun msg -> Engine.broadcast engine ~src:me msg)
       ~set_timer:(fun ~at -> Engine.set_timer engine ~party:me ~at ~tag:0)

@@ -36,9 +36,20 @@ type mode =
           supplied [T] really covers the honest inputs' spread, which is
           exactly what experiment E16 probes. *)
 
+type mutant = Non_contracting_update | Premature_output
+(** Deliberately broken protocol variants, used {e only} to prove the
+    fault-injection monitor can detect real bugs (see [lib/monitor] and the
+    soak driver's mutant mode):
+    - [Non_contracting_update] offsets every adopted iteration value far
+      outside the safe area — the midpoint step no longer contracts, so
+      per-iteration hull containment and validity break;
+    - [Premature_output] outputs the party's raw input immediately — the
+      ε-agreement check "loosened" to infinity. *)
+
 val create :
   ?callbacks:callbacks ->
   ?mode:mode ->
+  ?mutant:mutant ->
   cfg:Config.t ->
   me:int ->
   now:(unit -> int) ->
@@ -50,6 +61,7 @@ val create :
 val attach :
   ?callbacks:callbacks ->
   ?mode:mode ->
+  ?mutant:mutant ->
   cfg:Config.t ->
   me:int ->
   Message.t Engine.t ->

@@ -11,12 +11,18 @@ type stats = {
   messages_delivered : int;
   final_time : time;
   events_processed : int;
+  party_failures : int;
 }
+
+type failure = { party : int; at : time; reason : string }
+
+type isolation = [ `Fail_fast | `Isolate ]
 
 type 'msg trace_event =
   | Sent of { src : int; dst : int; at : time; deliver_at : time; msg : 'msg }
   | Delivered of { src : int; dst : int; at : time; msg : 'msg }
   | Timer_fired of { party : int; at : time; tag : int }
+  | Party_failed of failure
 
 type 'msg t = {
   n : int;
@@ -26,6 +32,8 @@ type 'msg t = {
   queue : 'msg item Heap.t;
   handlers : ('msg event -> unit) option array;
   mutable tracer : ('msg trace_event -> unit) option;
+  mutable isolation : isolation;
+  mutable failures : failure list;  (* reverse chronological *)
   mutable now : time;
   mutable seq : int;
   mutable messages_sent : int;
@@ -34,7 +42,7 @@ type 'msg t = {
   mutable events_processed : int;
 }
 
-let cmp_item a b =
+let cmp_item (a : _ item) (b : _ item) =
   let c = compare a.at b.at in
   if c <> 0 then c else compare a.seq b.seq
 
@@ -48,6 +56,8 @@ let create ?(seed = 0x5eedL) ?(size_of = fun _ -> 0) ~n ~policy () =
     queue = Heap.create ~cmp:cmp_item;
     handlers = Array.make n None;
     tracer = None;
+    isolation = `Fail_fast;
+    failures = [];
     now = 0;
     seq = 0;
     messages_sent = 0;
@@ -65,6 +75,15 @@ let set_party t i handler =
   t.handlers.(i) <- Some handler
 
 let clear_party t i = t.handlers.(i) <- None
+
+let wrap_party t i f =
+  if i < 0 || i >= t.n then invalid_arg "Engine.wrap_party: bad party";
+  match t.handlers.(i) with
+  | Some h -> t.handlers.(i) <- Some (f h)
+  | None -> ()
+
+let set_isolation t mode = t.isolation <- mode
+let failures t = List.rev t.failures
 
 let push t ~at ~target ev =
   let at = max at t.now in
@@ -118,7 +137,24 @@ let run ?until ?(max_events = 10_000_000) t =
             | Some f -> f (Timer_fired { party = item.target; at = t.now; tag })
             | None -> ()));
         (match t.handlers.(item.target) with
-        | Some h -> h item.ev
+        | Some h -> (
+            match t.isolation with
+            | `Fail_fast -> h item.ev
+            | `Isolate -> (
+                try h item.ev
+                with exn ->
+                  let f =
+                    {
+                      party = item.target;
+                      at = t.now;
+                      reason = Printexc.to_string exn;
+                    }
+                  in
+                  t.handlers.(item.target) <- None;
+                  t.failures <- f :: t.failures;
+                  (match t.tracer with
+                  | Some tr -> tr (Party_failed f)
+                  | None -> ())))
         | None -> ())
   done
 
@@ -129,6 +165,7 @@ let stats t =
     messages_delivered = t.messages_delivered;
     final_time = t.now;
     events_processed = t.events_processed;
+    party_failures = List.length t.failures;
   }
 
 let set_tracer t f = t.tracer <- Some f

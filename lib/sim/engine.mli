@@ -33,6 +33,9 @@ type stats = {
   messages_delivered : int;
   final_time : time;
   events_processed : int;
+  party_failures : int;
+      (** handler exceptions captured under [`Isolate] (see
+          {!set_isolation}); always [0] under the default [`Fail_fast] *)
 }
 
 val create :
@@ -55,6 +58,27 @@ val set_party : 'msg t -> int -> ('msg event -> unit) -> unit
 
 val clear_party : 'msg t -> int -> unit
 (** Removes the handler: the party crashes. *)
+
+val wrap_party : 'msg t -> int -> (('msg event -> unit) -> 'msg event -> unit) -> unit
+(** [wrap_party t i f] replaces party [i]'s handler [h] with [f h] — the
+    hook the chaos layer uses to interpose duplicate-delivery and
+    adaptive-corruption triggers without the party's cooperation. No-op
+    when the party has no handler (already crashed). *)
+
+type failure = { party : int; at : time; reason : string }
+
+type isolation = [ `Fail_fast | `Isolate ]
+
+val set_isolation : 'msg t -> isolation -> unit
+(** Under the default [`Fail_fast], an exception escaping a party handler
+    aborts {!run} (and with it a whole pooled batch). Under [`Isolate] the
+    exception is caught: the failure is recorded (see {!failures}, the
+    [party_failures] stats counter and the [Party_failed] trace event) and
+    the party is cleared — treated as crashed from that tick — so the rest
+    of the run continues. *)
+
+val failures : 'msg t -> failure list
+(** Captured handler failures, in chronological order. *)
 
 val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
 (** Enqueues a message; its delivery time comes from the policy. *)
@@ -83,6 +107,8 @@ type 'msg trace_event =
   | Sent of { src : int; dst : int; at : time; deliver_at : time; msg : 'msg }
   | Delivered of { src : int; dst : int; at : time; msg : 'msg }
   | Timer_fired of { party : int; at : time; tag : int }
+  | Party_failed of failure
+      (** emitted only under [`Isolate] when a handler raised *)
 
 val set_tracer : 'msg t -> ('msg trace_event -> unit) -> unit
 (** Installs a hook invoked on every send, delivery and timer. Used for

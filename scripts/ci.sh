@@ -19,6 +19,12 @@ echo "== experiments smoke (2 worker domains) =="
 dune exec bin/experiments_main.exe -- --domains 2 e9 e10 > _build/EXP_smoke.txt
 grep -q 'E9' _build/EXP_smoke.txt
 
+echo "== chaos soak smoke (2 worker domains) =="
+# exits 1 on any monitor violation — a real-protocol soak must be clean
+dune exec bin/soak_main.exe -- --smoke --domains 2 --out _build/SOAK_smoke.json
+grep -q '"schema": "maaa-soak/1"' _build/SOAK_smoke.json
+grep -q '"violations_total": 0' _build/SOAK_smoke.json
+
 echo "== bench smoke run =="
 dune exec bench/main.exe -- --smoke --json _build/BENCH_smoke.json
 grep -q '"schema": "maaa-bench/1"' _build/BENCH_smoke.json

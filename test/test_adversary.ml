@@ -133,6 +133,60 @@ let test_full_budget_mixed () =
         false );
     ]
 
+(* --- boundary ticks --- *)
+
+let test_crash_at_zero () =
+  (* crash before doing anything: indistinguishable from Silent *)
+  assert_contained "crash at 0"
+    (run [ (2, Behavior.Crash_at 0); (6, Behavior.Crash_at 0) ])
+
+let test_crash_exactly_on_timer_ticks () =
+  (* under lockstep every protocol timer lands on a multiple of Δ;
+     crashing exactly there races the crash against the timer handler *)
+  List.iter
+    (fun k ->
+      assert_contained
+        (Printf.sprintf "crash at timer tick %d" (k * 10))
+        (Runner.run
+           (Scenario.make ~seed:13L ~cfg ~inputs
+              ~policy:(Network.lockstep ~delta:10)
+              ~corruptions:[ (2, Behavior.Crash_at (k * 10)) ]
+              ())))
+    [ 1; 3; 8 ]
+
+let test_lagger_after_last_honest_output () =
+  (* the lagger joins long after every honest party has output; its
+     backlog replay must still leave a terminating, contained run *)
+  let r =
+    Runner.run
+      (Scenario.make ~seed:3L ~cfg ~inputs
+         ~policy:(Network.lockstep ~delta:10)
+         ~corruptions:[ (6, Behavior.Lagger 5000) ]
+         ())
+  in
+  assert_contained "lagger after last output" r;
+  List.iter
+    (fun (_, t) ->
+      Alcotest.(check bool) "honest outputs precede the join" true (t < 5000))
+    r.Runner.output_times
+
+let test_lagger_replay_liveness_minimal () =
+  (* n = 2, ts = 0: reliable broadcast needs BOTH parties' echoes, so
+     party 0 can only output thanks to messages party 1 queued while
+     "offline" and replayed at its join — pins the replay-queue
+     semantics (a dropping lagger would deadlock this run) *)
+  let cfg = Config.make_exn ~n:2 ~ts:0 ~ta:0 ~d:1 ~eps:0.1 ~delta:10 in
+  let inputs = [ Vec.of_list [ 0. ]; Vec.of_list [ 1. ] ] in
+  let r =
+    Runner.run
+      (Scenario.make ~seed:5L ~cfg ~inputs
+         ~policy:(Network.lockstep ~delta:10)
+         ~corruptions:[ (1, Behavior.Lagger 70) ]
+         ())
+  in
+  Alcotest.(check bool) "party 0 outputs despite the late peer" true
+    r.Runner.live
+
 let () =
   Alcotest.run "adversary"
     [
@@ -150,5 +204,15 @@ let () =
           Alcotest.test_case "lagger backlog replay" `Quick
             test_lagger_replays_backlog;
           Alcotest.test_case "full budget mixed" `Quick test_full_budget_mixed;
+        ] );
+      ( "boundaries",
+        [
+          Alcotest.test_case "crash at tick 0" `Quick test_crash_at_zero;
+          Alcotest.test_case "crash on timer ticks" `Quick
+            test_crash_exactly_on_timer_ticks;
+          Alcotest.test_case "lagger after last output" `Quick
+            test_lagger_after_last_honest_output;
+          Alcotest.test_case "lagger replay liveness (n=2)" `Quick
+            test_lagger_replay_liveness_minimal;
         ] );
     ]

@@ -1,0 +1,107 @@
+(* Statistical sanity for the SplitMix64 generator: split-stream
+   independence and chi-square uniformity of [Rng.int]/[Rng.float01].
+   Fixed seeds make every test a deterministic regression pin (the
+   chi-square critical value 27.88 is the p = 0.001 cutoff at 9 degrees
+   of freedom for 10 buckets), not a flaky hypothesis test. *)
+
+let test_split_independent_of_parent_use () =
+  (* the split stream depends only on the parent's state at the split
+     point — interleaving further parent draws must not perturb it *)
+  let a = Rng.create 99L and b = Rng.create 99L in
+  let sa = Rng.split a in
+  let sb = Rng.split b in
+  let xs =
+    List.init 100 (fun _ ->
+        ignore (Rng.next_int64 a);
+        Rng.next_int64 sa)
+  in
+  let ys = List.init 100 (fun _ -> Rng.next_int64 sb) in
+  Alcotest.(check (list int64)) "child stream unaffected by parent draws" xs ys
+
+let test_parent_independent_of_child_use () =
+  let a = Rng.create 7L and b = Rng.create 7L in
+  let ca = Rng.split a and cb = Rng.split b in
+  for _ = 1 to 1000 do
+    ignore (Rng.next_int64 ca)
+  done;
+  ignore cb;
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "parent stream unaffected by child draws"
+      (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_siblings_differ () =
+  (* consecutive splits of one parent give distinct streams *)
+  let master = Rng.create 1L in
+  let c1 = Rng.split master and c2 = Rng.split master in
+  let d1 = List.init 10 (fun _ -> Rng.next_int64 c1) in
+  let d2 = List.init 10 (fun _ -> Rng.next_int64 c2) in
+  Alcotest.(check bool) "sibling streams differ" true (d1 <> d2)
+
+let chi_square buckets expected =
+  Array.fold_left
+    (fun acc o ->
+      let d = float_of_int o -. expected in
+      acc +. (d *. d /. expected))
+    0. buckets
+
+let critical_9dof = 27.88 (* p = 0.001 *)
+
+let check_uniform name seed draw =
+  let r = Rng.create seed in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let k = draw r in
+    buckets.(k) <- buckets.(k) + 1
+  done;
+  let x2 = chi_square buckets 1000. in
+  if x2 >= critical_9dof then
+    Alcotest.failf "%s: chi-square %.2f >= %.2f (seed %Ld)" name x2
+      critical_9dof seed
+
+let test_chi_square_int () =
+  List.iter
+    (fun seed -> check_uniform "int" seed (fun r -> Rng.int r 10))
+    [ 1L; 2L; 42L; 1234L ]
+
+let test_chi_square_float01 () =
+  List.iter
+    (fun seed ->
+      check_uniform "float01" seed (fun r ->
+          min 9 (int_of_float (Rng.float01 r *. 10.))))
+    [ 3L; 7L; 99L; 31337L ]
+
+let test_chi_square_across_split_streams () =
+  (* one draw from each of 10_000 sibling streams: uniformity must also
+     hold ACROSS streams, which is what the soak's per-case splits use *)
+  let master = Rng.create 11L in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let child = Rng.split master in
+    let k = Rng.int child 10 in
+    buckets.(k) <- buckets.(k) + 1
+  done;
+  let x2 = chi_square buckets 1000. in
+  if x2 >= critical_9dof then
+    Alcotest.failf "split streams: chi-square %.2f >= %.2f" x2 critical_9dof
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "split independence",
+        [
+          Alcotest.test_case "child vs parent draws" `Quick
+            test_split_independent_of_parent_use;
+          Alcotest.test_case "parent vs child draws" `Quick
+            test_parent_independent_of_child_use;
+          Alcotest.test_case "siblings differ" `Quick test_siblings_differ;
+        ] );
+      ( "uniformity",
+        [
+          Alcotest.test_case "chi-square int" `Quick test_chi_square_int;
+          Alcotest.test_case "chi-square float01" `Quick
+            test_chi_square_float01;
+          Alcotest.test_case "chi-square across splits" `Quick
+            test_chi_square_across_split_streams;
+        ] );
+    ]

@@ -217,7 +217,8 @@ let test_engine_tracer () =
     | Engine.Delivered _ -> incr delivers
     | Engine.Timer_fired { tag; _ } ->
         incr timers;
-        Alcotest.(check int) "tag" 5 tag);
+        Alcotest.(check int) "tag" 5 tag
+    | Engine.Party_failed _ -> ());
   Engine.set_party engine 1 (fun _ -> ());
   Engine.send engine ~src:0 ~dst:1 "x";
   Engine.set_timer engine ~party:1 ~at:3 ~tag:5;
@@ -230,6 +231,63 @@ let test_engine_tracer () =
   Engine.send engine ~src:0 ~dst:1 "y";
   Engine.run engine;
   Alcotest.(check int) "no more trace events" 1 !sends
+
+let test_engine_fail_fast_default () =
+  (* the default isolation mode lets handler exceptions abort the run *)
+  let engine = Engine.create ~n:1 ~policy:Network.instant () in
+  Engine.set_party engine 0 (fun _ -> failwith "boom");
+  Engine.set_timer engine ~party:0 ~at:1 ~tag:0;
+  (match Engine.run engine with
+  | () -> Alcotest.fail "expected the handler exception to propagate"
+  | exception Failure m -> Alcotest.(check string) "propagated" "boom" m);
+  Alcotest.(check int) "nothing recorded under fail-fast" 0
+    (Engine.stats engine).Engine.party_failures
+
+let test_engine_isolation () =
+  let engine = Engine.create ~n:2 ~policy:Network.instant () in
+  Engine.set_isolation engine `Isolate;
+  let traced = ref [] in
+  Engine.set_tracer engine (function
+    | Engine.Party_failed f -> traced := f :: !traced
+    | _ -> ());
+  let p0 = ref 0 in
+  Engine.set_party engine 0 (fun _ -> incr p0);
+  Engine.set_party engine 1 (fun _ -> failwith "handler bug");
+  Engine.send engine ~src:0 ~dst:1 "a" (* kills party 1 *);
+  Engine.send engine ~src:1 ~dst:0 "b" (* still delivered *);
+  Engine.send engine ~src:0 ~dst:1 "c" (* dropped: party 1 is cleared *);
+  Engine.run engine;
+  Alcotest.(check int) "run continued past the failure" 1 !p0;
+  Alcotest.(check int) "stats counter" 1
+    (Engine.stats engine).Engine.party_failures;
+  (match Engine.failures engine with
+  | [ f ] ->
+      Alcotest.(check int) "failed party" 1 f.Engine.party;
+      Alcotest.(check bool) "reason captured" true
+        (String.length f.Engine.reason > 0)
+  | l -> Alcotest.failf "recorded %d failures, expected 1" (List.length l));
+  match !traced with
+  | [ t ] -> Alcotest.(check int) "traced party" 1 t.Engine.party
+  | l -> Alcotest.failf "traced %d failures, expected 1" (List.length l)
+
+let test_engine_wrap_party () =
+  let engine = Engine.create ~n:2 ~policy:Network.instant () in
+  let got = ref [] in
+  Engine.set_party engine 1 (fun ev ->
+      match ev with
+      | Engine.Deliver { msg; _ } -> got := msg :: !got
+      | Engine.Timer _ -> ());
+  (* replay every delivery once, as the chaos Duplicate atom does *)
+  Engine.wrap_party engine 1 (fun inner ev ->
+      inner ev;
+      match ev with Engine.Deliver _ -> inner ev | Engine.Timer _ -> ());
+  Engine.send engine ~src:0 ~dst:1 "x";
+  Engine.run engine;
+  Alcotest.(check (list string)) "handler saw the replay" [ "x"; "x" ]
+    (List.rev !got);
+  Alcotest.check_raises "bad party"
+    (Invalid_argument "Engine.wrap_party: bad party") (fun () ->
+      Engine.wrap_party engine 7 (fun inner -> inner))
 
 (* --- policies --- *)
 
@@ -304,6 +362,10 @@ let () =
             test_engine_max_events_exact;
           Alcotest.test_case "determinism" `Quick test_engine_determinism;
           Alcotest.test_case "tracer" `Quick test_engine_tracer;
+          Alcotest.test_case "fail fast default" `Quick
+            test_engine_fail_fast_default;
+          Alcotest.test_case "isolation" `Quick test_engine_isolation;
+          Alcotest.test_case "wrap_party" `Quick test_engine_wrap_party;
         ] );
       ( "policies",
         [
