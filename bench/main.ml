@@ -6,8 +6,10 @@
    B4  2-D convex hull
    B5  implicit diameter search (D = 3): seed one-shot path vs the
        warm-started Lp.Problem workspace
-   B6  full protocol runs (one ΠAA execution, end to end, per config)
-   B7  one reliable-broadcast instance, end to end
+   B6  full protocol runs (one ΠAA execution, end to end, per config;
+       n=12 also on the seed `Reference message layer)
+   B7  one reliable-broadcast instance, end to end, interned vs
+       reference message layer
    B8  restrict_t(M) subset enumeration: seed recursive lists vs the
        index-array kernel
    B9  repeated LP objectives over one constraint system: one-shot solve
@@ -15,6 +17,8 @@
    B10 sweep throughput: one 8-seed replicated scenario batch, sequential
        vs Runner.run_batch on a 2- and 4-domain pool (runs/sec; results
        bit-identical by construction)
+   B11 message layer in isolation: intern hit/miss cost, rBC vote
+       accounting and instance lookup, interned vs reference
 
    Run with:  dune exec bench/main.exe
    Options:   --json FILE   also write machine-readable results (the
@@ -112,37 +116,52 @@ let b5_diameter =
              ignore (Hullset.diameter_pair hs)));
     ]
 
-let protocol_run ~n ~ts ~ta ~d ~seed =
+let protocol_run ?message_layer ~n ~ts ~ta ~d ~seed () =
   let cfg = Config.make_exn ~n ~ts ~ta ~d ~eps:0.05 ~delta:10 in
   let inputs =
     List.init n (fun i ->
         Vec.of_list (List.init d (fun c -> float_of_int ((i + c) mod 4))))
   in
   fun () ->
-    let o = Maaa.run ~seed ~policy:(Network.lockstep ~delta:10) ~cfg ~inputs () in
+    let o =
+      Maaa.run ~seed ?message_layer ~policy:(Network.lockstep ~delta:10) ~cfg
+        ~inputs ()
+    in
     assert (o.Maaa.outputs <> [])
 
+(* B6: the reference line keeps the seed message layer (PayloadMap votes,
+   polymorphic-compare instance maps) alive for the b6_speedup_n12 derived
+   key; every other line runs the interned fast path. *)
 let b6_protocol =
   Test.make_grouped ~name:"B6 full protocol run"
     [
       Test.make ~name:"n=5 D=1 ts=1"
-        (Staged.stage (protocol_run ~n:5 ~ts:1 ~ta:0 ~d:1 ~seed:1L));
+        (Staged.stage (protocol_run ~n:5 ~ts:1 ~ta:0 ~d:1 ~seed:1L ()));
       Test.make ~name:"n=8 D=2 ts=2"
-        (Staged.stage (protocol_run ~n:8 ~ts:2 ~ta:1 ~d:2 ~seed:1L));
+        (Staged.stage (protocol_run ~n:8 ~ts:2 ~ta:1 ~d:2 ~seed:1L ()));
       Test.make ~name:"n=12 D=2 ts=3"
-        (Staged.stage (protocol_run ~n:12 ~ts:3 ~ta:1 ~d:2 ~seed:1L));
+        (Staged.stage (protocol_run ~n:12 ~ts:3 ~ta:1 ~d:2 ~seed:1L ()));
+      Test.make ~name:"n=12 D=2 ts=3 (reference msg layer)"
+        (Staged.stage
+           (protocol_run ~message_layer:`Reference ~n:12 ~ts:3 ~ta:1 ~d:2
+              ~seed:1L ()));
     ]
 
+let b7_run impl () =
+  let obs =
+    Fixtures.run_rbc ~impl ~n:7 ~t:2 ~policy:(Network.lockstep ~delta:10)
+      ~honest:[ 0; 1; 2; 3; 4; 5; 6 ]
+      ~sender:(`Honest (0, Message.Pvec (Vec.of_list [ 1.; 2. ])))
+      ()
+  in
+  assert (List.length obs.Fixtures.rbc_deliveries = 7)
+
 let b7_rbc =
-  Test.make ~name:"B7 one rBC instance n=7"
-    (Staged.stage (fun () ->
-         let obs =
-           Fixtures.run_rbc ~n:7 ~t:2 ~policy:(Network.lockstep ~delta:10)
-             ~honest:[ 0; 1; 2; 3; 4; 5; 6 ]
-             ~sender:(`Honest (0, Message.Pvec (Vec.of_list [ 1.; 2. ])))
-             ()
-         in
-         assert (List.length obs.Fixtures.rbc_deliveries = 7)))
+  Test.make_grouped ~name:"B7 one rBC instance n=7"
+    [
+      Test.make ~name:"interned" (Staged.stage (b7_run `Interned));
+      Test.make ~name:"reference msg layer" (Staged.stage (b7_run `Reference));
+    ]
 
 (* The pre-PR recursive enumeration, kept here verbatim as the baseline. *)
 let subsets_seed ~t l =
@@ -253,11 +272,83 @@ let b10_sweep =
       Test.make ~name:"pool domains=4" (Staged.stage (batch ~domains:4));
     ]
 
+(* B11: the message layer in isolation — intern table hit/miss cost, and
+   the rBC vote accounting fed a scripted message storm directly (no
+   engine), interned flat tables vs the seed PayloadMap/IntSet path. *)
+let b11_hit_payload = Message.Pvec (Vec.of_list [ 3.25; 2.5; 1.75 ])
+
+let b11_miss_payloads =
+  Array.init 64 (fun i ->
+      Message.Pvec (Vec.of_list [ float_of_int i; 0.5 ]))
+
+let b11_hit_tbl = Intern.create ()
+let b11_miss_tbl = Intern.create ()
+let b11_storm_payload = Message.Pvec (Vec.of_list [ 1.; 2. ])
+
+(* One instance, every step: init + n echoes + n readies, one delivery. *)
+let b11_vote_storm impl () =
+  let n = 16 and t = 5 in
+  let delivered = ref 0 in
+  let rbc =
+    Rbc.create ~impl ~n ~t
+      {
+        Rbc.send_all = (fun _ -> ());
+        deliver = (fun _ _ -> incr delivered);
+      }
+  in
+  let id = { Message.tag = Message.Init_value; origin = 0 } in
+  Rbc.on_message rbc ~from:0 id Message.Init b11_storm_payload;
+  for s = 0 to n - 1 do
+    Rbc.on_message rbc ~from:s id Message.Echo b11_storm_payload
+  done;
+  for s = 0 to n - 1 do
+    Rbc.on_message rbc ~from:s id Message.Ready b11_storm_payload
+  done;
+  assert (!delivered = 1)
+
+(* Many live instances: exercises the per-id instance lookup (hashtable on
+   precomputed tag codes vs Map over polymorphic compare). *)
+let b11_instances impl () =
+  let n = 16 and t = 5 in
+  let rbc =
+    Rbc.create ~impl ~n ~t
+      { Rbc.send_all = (fun _ -> ()); deliver = (fun _ _ -> ()) }
+  in
+  for o = 0 to 15 do
+    let id = { Message.tag = Message.Obc_value o; origin = o } in
+    for s = 0 to 7 do
+      Rbc.on_message rbc ~from:s id Message.Echo b11_storm_payload
+    done
+  done
+
+let b11_message_layer =
+  Test.make_grouped ~name:"B11 message layer"
+    [
+      Test.make ~name:"intern hit (Pvec)"
+        (Staged.stage (fun () ->
+             ignore (Intern.intern b11_hit_tbl b11_hit_payload)));
+      Test.make ~name:"intern 64 misses + reset"
+        (Staged.stage (fun () ->
+             Intern.reset b11_miss_tbl;
+             Array.iter
+               (fun p -> ignore (Intern.intern b11_miss_tbl p))
+               b11_miss_payloads));
+      Test.make ~name:"rbc vote storm n=16 interned"
+        (Staged.stage (b11_vote_storm `Interned));
+      Test.make ~name:"rbc vote storm n=16 reference"
+        (Staged.stage (b11_vote_storm `Reference));
+      Test.make ~name:"rbc 16 live instances interned"
+        (Staged.stage (b11_instances `Interned));
+      Test.make ~name:"rbc 16 live instances reference"
+        (Staged.stage (b11_instances `Reference));
+    ]
+
 let tests =
   Test.make_grouped ~name:"maaa"
     [
       b1_safe_area; b2_representations; b3_lp; b4_hull; b5_diameter;
       b6_protocol; b7_rbc; b8_subsets; b9_problem; b10_sweep;
+      b11_message_layer;
     ]
 
 let benchmark ~quota () =
@@ -347,6 +438,22 @@ let write_json ~oc ~quota rows =
           ~baseline:"B9 16 objectives, one system/one-shot Lp.solve each"
           ~target:"B9 16 objectives, one system/workspace warm start (warm:true)"
       );
+      ( "b6_speedup_n12",
+        speedup rows
+          ~baseline:"B6 full protocol run/n=12 D=2 ts=3 (reference msg layer)"
+          ~target:"B6 full protocol run/n=12 D=2 ts=3" );
+      ( "b7_speedup",
+        speedup rows
+          ~baseline:"B7 one rBC instance n=7/reference msg layer"
+          ~target:"B7 one rBC instance n=7/interned" );
+      ( "b11_speedup_vote_storm",
+        speedup rows
+          ~baseline:"B11 message layer/rbc vote storm n=16 reference"
+          ~target:"B11 message layer/rbc vote storm n=16 interned" );
+      ( "b11_speedup_instances",
+        speedup rows
+          ~baseline:"B11 message layer/rbc 16 live instances reference"
+          ~target:"B11 message layer/rbc 16 live instances interned" );
       ( "b10_speedup_2_domains_vs_sequential",
         speedup rows
           ~baseline:"B10 sweep throughput (8 runs)/sequential (domains=1)"
@@ -422,6 +529,14 @@ let () =
        ~target:"B5 implicit diameter D=3/warm workspace (cached)"
    with
   | Some s -> Format.printf "@.B5 warm-workspace speedup over seed: %.2fx@." s
+  | None -> ());
+  (match
+     speedup rows
+       ~baseline:"B6 full protocol run/n=12 D=2 ts=3 (reference msg layer)"
+       ~target:"B6 full protocol run/n=12 D=2 ts=3"
+   with
+  | Some s ->
+      Format.printf "B6 n=12 interned message layer speedup over reference: %.2fx@." s
   | None -> ());
   (match
      speedup rows

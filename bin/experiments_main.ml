@@ -39,9 +39,9 @@ let () =
     | ids ->
         List.for_all
           (fun id ->
-            match Experiments.run_one (String.lowercase_ascii id) with
-            | ok -> ok
-            | exception Not_found ->
+            match Experiments.find_opt (String.lowercase_ascii id) with
+            | Some run -> run ()
+            | None ->
                 prerr_endline
                   ("unknown experiment '" ^ id ^ "'; known: e1 .. e16");
                 false)

@@ -13,7 +13,14 @@
 
     The [witnessing] flag exists only for the E5 ablation: switching it off
     skips the witness phase and outputs on the first deadline, losing the
-    [(ts, ta)]-Overlap guarantee under asynchrony. *)
+    [(ts, ta)]-Overlap guarantee under asynchrony.
+
+    Like {!Rbc}, two implementations share this interface: the default
+    [`Interned] path keeps the collected set and every pending report as
+    flat party-indexed arrays of {!Intern} value ids (report verification
+    is O(n) int compares instead of a [Pairset.subset] of float vectors
+    on every event), while [`Reference] is the seed Pairset/Map code —
+    trace-identical, retained for differential tests and benches. *)
 
 type t
 
@@ -27,7 +34,18 @@ type callbacks = {
 }
 
 val create :
-  ?witnessing:bool -> n:int -> ts:int -> delta:int -> iter:int -> callbacks -> t
+  ?impl:[ `Interned | `Reference ] ->
+  ?intern:Intern.t ->
+  ?witnessing:bool ->
+  n:int ->
+  ts:int ->
+  delta:int ->
+  iter:int ->
+  callbacks ->
+  t
+(** [intern] shares the owning party's interning table (fresh private
+    table when omitted; ignored by [`Reference]) — pass the same table as
+    the party's {!Rbc} so value ids agree across the layers. *)
 
 val start : t -> Vec.t -> unit
 (** Join the protocol with our value; records the local start time. *)
@@ -43,3 +61,19 @@ val poke : t -> unit
 (** Re-evaluate all guards (call on timer wake-ups). *)
 
 val has_output : t -> bool
+
+(** The seed Pairset/Map implementation, verbatim — differential baseline
+    only; protocol code should go through {!create}. *)
+module Reference : sig
+  type t
+
+  val create :
+    ?witnessing:bool -> n:int -> ts:int -> delta:int -> iter:int ->
+    callbacks -> t
+
+  val start : t -> Vec.t -> unit
+  val on_value : t -> origin:int -> Vec.t -> unit
+  val on_report : t -> from:int -> (int * Vec.t) list -> unit
+  val poke : t -> unit
+  val has_output : t -> bool
+end

@@ -1645,9 +1645,14 @@ let all =
     ("e16", "Pi_init ablation", e16);
   ]
 
+let find_opt id =
+  List.find_opt (fun (i, _, _) -> i = id) all
+  |> Option.map (fun (_, _, f) -> f)
+
 let run_one id =
-  let _, _, f = List.find (fun (i, _, _) -> i = id) all in
-  f ()
+  match find_opt id with
+  | Some f -> f ()
+  | None -> raise Not_found
 
 let run_all () =
   let results = List.map (fun (id, _, f) -> (id, f ())) all in

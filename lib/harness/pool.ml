@@ -15,13 +15,16 @@ type t = {
   pending : Condition.t;  (* signalled when a job (or Stop) is queued *)
   jobs : job Queue.t;
   mutable workers : unit Domain.t list;
+  mutable waiting : int;  (* workers currently blocked in Condition.wait *)
   mutable stopped : bool;
 }
 
 let rec worker_loop pool =
   Mutex.lock pool.lock;
   while Queue.is_empty pool.jobs do
-    Condition.wait pool.pending pool.lock
+    pool.waiting <- pool.waiting + 1;
+    Condition.wait pool.pending pool.lock;
+    pool.waiting <- pool.waiting - 1
   done;
   let job = Queue.pop pool.jobs in
   Mutex.unlock pool.lock;
@@ -44,6 +47,7 @@ let create ?domains () =
       pending = Condition.create ();
       jobs = Queue.create ();
       workers = [];
+      waiting = 0;
       stopped = false;
     }
   in
@@ -60,7 +64,10 @@ let submit pool f =
     invalid_arg "Pool.submit: pool is shut down"
   end;
   Queue.add (Job f) pool.jobs;
-  Condition.signal pool.pending;
+  (* Signal exactly one sleeper, and only when someone is actually asleep:
+     a busy worker re-checks the queue on its own, so an unconditional
+     signal would just burn a futex syscall per job on a saturated pool. *)
+  if pool.waiting > 0 then Condition.signal pool.pending;
   Mutex.unlock pool.lock
 
 let shutdown pool =
@@ -113,6 +120,60 @@ let map pool f xs =
          | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
          | None -> assert false (* remaining = 0 fills every slot *))
        out)
+
+(* Same contract as [map], but one queued job per contiguous chunk of
+   ⌈n/size⌉ items instead of one per item. For protocol-run sized jobs the
+   per-item dispatch (queue lock + wakeup + done-counter lock) is the
+   dominant pool overhead once items outnumber workers; chunking pays it
+   once per chunk. Chunks are contiguous and results keep submission
+   order, so the output is bit-identical to [map]'s. *)
+let map_chunked ?chunk_size pool f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let chunk =
+      match chunk_size with
+      | Some c when c > 0 -> c
+      | Some c -> invalid_arg (Printf.sprintf "Pool.map_chunked: chunk_size %d" c)
+      | None -> (n + size pool - 1) / size pool
+    in
+    let out = Array.make n None in
+    let done_lock = Mutex.create () in
+    let all_done = Condition.create () in
+    let chunks = (n + chunk - 1) / chunk in
+    let remaining = ref chunks in
+    for c = 0 to chunks - 1 do
+      let lo = c * chunk in
+      let hi = min n (lo + chunk) - 1 in
+      submit pool (fun () ->
+          for i = lo to hi do
+            out.(i) <-
+              Some
+                (match f items.(i) with
+                | v -> Ok v
+                | exception e ->
+                    let bt = Printexc.get_raw_backtrace () in
+                    Error (e, bt))
+          done;
+          Mutex.lock done_lock;
+          decr remaining;
+          if !remaining = 0 then Condition.signal all_done;
+          Mutex.unlock done_lock)
+    done;
+    Mutex.lock done_lock;
+    while !remaining > 0 do
+      Condition.wait all_done done_lock
+    done;
+    Mutex.unlock done_lock;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+           | None -> assert false (* every chunk fills its whole range *))
+         out)
+  end
 
 let with_pool ?domains f =
   let pool = create ?domains () in

@@ -46,6 +46,9 @@ let run ?(monitor = false) (s : Scenario.t) =
       Engine.set_tracer engine (fun ev ->
           Traffic.observe traffic ev;
           Monitor.on_trace m ev));
+  (* Shared safe-area memo: scoped to this run (this engine), so pooled
+     sweeps still share nothing across jobs. *)
+  let safe_cache = Safe_cache.create () in
   let parties =
     List.map
       (fun i ->
@@ -64,7 +67,9 @@ let run ?(monitor = false) (s : Scenario.t) =
               }
           | _ -> Party.no_callbacks
         in
-        (i, Party.attach ~callbacks ?mutant:s.mutant ~cfg ~me:i engine))
+        ( i,
+          Party.attach ~callbacks ?mutant:s.mutant
+            ~message_layer:s.message_layer ~safe_cache ~cfg ~me:i engine ))
       honest_ids
   in
   List.iter
@@ -144,7 +149,13 @@ let run_batch ?(domains = 1) ?(monitor = false) scenarios =
   else
     match scenarios with
     | [] | [ _ ] -> List.map run scenarios
-    | _ -> Pool.with_pool ~domains (fun pool -> Pool.map pool run scenarios)
+    | _ ->
+        (* One contiguous chunk per domain: a scenario run is micro-seconds
+           to milliseconds, so per-scenario dispatch overhead (and the
+           cross-domain cache traffic it causes) is what sank the original
+           per-item fan-out on wide batches. *)
+        Pool.with_pool ~domains (fun pool ->
+            Pool.map_chunked pool run scenarios)
 
 (* I_it = the honest values adopted in iteration [it]; only iterations every
    honest party reached are meaningful for Lemma 5.15. *)

@@ -9,10 +9,12 @@ type t = {
   chaos : Fault_plan.t option;
   mutant : Party.mutant option;
   isolate : bool;
+  message_layer : [ `Interned | `Reference ];
 }
 
 let make ?(name = "scenario") ?(seed = 1L) ?policy ?(sync_network = true)
-    ?(corruptions = []) ?chaos ?mutant ?(isolate = false) ~cfg ~inputs () =
+    ?(corruptions = []) ?chaos ?mutant ?(isolate = false)
+    ?(message_layer = `Interned) ~cfg ~inputs () =
   if List.length inputs <> cfg.Config.n then
     invalid_arg "Scenario.make: need one input per party";
   List.iter
@@ -50,6 +52,7 @@ let make ?(name = "scenario") ?(seed = 1L) ?policy ?(sync_network = true)
     chaos;
     mutant;
     isolate;
+    message_layer;
   }
 
 let replicate ~seeds t =

@@ -23,6 +23,10 @@ type t = {
       (** run the engine under [`Isolate]: a party-handler exception
           records a failure and crashes that party instead of aborting the
           whole run (and, in pooled sweeps, the whole batch) *)
+  message_layer : [ `Interned | `Reference ];
+      (** broadcast-layer implementation for honest parties (see
+          {!Party.attach}); [`Reference] exists for differential testing
+          against the seed message layer and the B6/B11 benches *)
 }
 
 val make :
@@ -34,12 +38,13 @@ val make :
   ?chaos:Fault_plan.t ->
   ?mutant:Party.mutant ->
   ?isolate:bool ->
+  ?message_layer:[ `Interned | `Reference ] ->
   cfg:Config.t ->
   inputs:Vec.t list ->
   unit ->
   t
 (** Defaults: worst-case synchronous lockstep policy, no corruptions, no
-    chaos plan, real protocol, fail-fast engine.
+    chaos plan, real protocol, fail-fast engine, interned message layer.
     @raise Invalid_argument on malformed inputs/corruptions, or when the
     fault plan fails {!Fault_plan.validate} (out-of-range or duplicate
     targets, corruption budget exceeded, bad windows). *)

@@ -16,6 +16,7 @@ type t = {
   delta : int;
   eps : float;
   double_witnessing : bool;
+  cache : Safe_cache.t;
   cb : callbacks;
   mutable started : bool;
   mutable tau_start : int;
@@ -32,7 +33,7 @@ type t = {
   mutable done_ : bool;
 }
 
-let create ?(double_witnessing = true) ~n ~ts ~ta ~delta ~eps cb =
+let create ?(double_witnessing = true) ?safe_cache ~n ~ts ~ta ~delta ~eps cb =
   {
     n;
     ts;
@@ -40,6 +41,8 @@ let create ?(double_witnessing = true) ~n ~ts ~ta ~delta ~eps cb =
     delta;
     eps;
     double_witnessing;
+    cache =
+      (match safe_cache with Some c -> c | None -> Safe_cache.create ());
     cb;
     started = false;
     tau_start = 0;
@@ -65,7 +68,7 @@ let estimations t = t.i_e
 let estimate t report =
   let k = Pairset.cardinal report - (t.n - t.ts) in
   let trim = max t.ta k in
-  Safe_area.new_value_arr ~t:trim (Pairset.values_arr report)
+  Safe_cache.new_value_arr t.cache ~t:trim (Pairset.values_arr report)
 
 let promote_witness t from report =
   match estimate t report with
@@ -138,7 +141,7 @@ let try_fire t =
     then begin
       let k = IntSet.cardinal t.witnesses - (t.n - t.ts) in
       let trim = max t.ta k in
-      match Safe_area.new_value_arr ~t:trim (Pairset.values_arr t.i_e) with
+      match Safe_cache.new_value_arr t.cache ~t:trim (Pairset.values_arr t.i_e) with
       | Some v0 ->
           t.done_ <- true;
           t.cb.output (iteration_estimate t) v0

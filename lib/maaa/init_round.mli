@@ -24,8 +24,12 @@ type callbacks = {
 
 val create :
   ?double_witnessing:bool ->
+  ?safe_cache:Safe_cache.t ->
   n:int -> ts:int -> ta:int -> delta:int -> eps:float ->
   callbacks -> t
+(** [safe_cache] memoises the estimation rule's safe-area midpoints
+    (per-witness and final); see {!Party.attach}. Fresh per instance when
+    omitted. *)
 
 val start : t -> Vec.t -> unit
 

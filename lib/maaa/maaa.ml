@@ -6,7 +6,7 @@ type outcome = {
   stats : Engine.stats;
 }
 
-let run ?(seed = 1L) ?policy ?(silent = []) ~cfg ~inputs () =
+let run ?(seed = 1L) ?policy ?(silent = []) ?message_layer ~cfg ~inputs () =
   let n = cfg.Config.n in
   if List.length inputs <> n then
     invalid_arg "Maaa.run: need exactly one input per party";
@@ -24,9 +24,13 @@ let run ?(seed = 1L) ?policy ?(silent = []) ~cfg ~inputs () =
     Engine.create ~seed ~size_of:Message.size_of ~n ~policy ()
   in
   let is_silent i = List.mem i silent in
+  (* One memo cache for the whole run: honest parties assembling the same
+     report multiset share one safe-area evaluation (bit-identical). *)
+  let safe_cache = Safe_cache.create () in
   let parties =
     List.filteri (fun i _ -> not (is_silent i)) (List.init n Fun.id)
-    |> List.map (fun i -> (i, Party.attach ~cfg ~me:i engine))
+    |> List.map (fun i ->
+           (i, Party.attach ?message_layer ~safe_cache ~cfg ~me:i engine))
   in
   let inputs = Array.of_list inputs in
   List.iter (fun (i, p) -> Party.start p inputs.(i)) parties;

@@ -20,6 +20,7 @@ val run :
   ?seed:int64 ->
   ?policy:Engine.delay_policy ->
   ?silent:int list ->
+  ?message_layer:[ `Interned | `Reference ] ->
   cfg:Config.t ->
   inputs:Vec.t list ->
   unit ->

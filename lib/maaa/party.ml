@@ -18,6 +18,10 @@ type t = {
   me : int;
   mode : mode;
   mutant : mutant option;
+  message_layer : [ `Interned | `Reference ];
+  intern : Intern.t;  (* one hash-consing table for all sub-protocols *)
+  safe_cache : Safe_cache.t;  (* shared across the run's parties when the
+                                 caller provides one (Maaa.run, Runner) *)
   cbs : callbacks;
   now : unit -> int;
   send_all : Message.t -> unit;
@@ -93,7 +97,8 @@ let rec join_iteration t it =
   t.iter_start <- t.now ();
   t.pending_value <- None;
   let obc =
-    Obc.create ~n:t.cfg.n ~ts:t.cfg.ts ~delta:t.cfg.delta ~iter:it
+    Obc.create ~impl:t.message_layer ~intern:t.intern ~n:t.cfg.n ~ts:t.cfg.ts
+      ~delta:t.cfg.delta ~iter:it
       {
         Obc.now = t.now;
         set_timer = t.set_timer;
@@ -109,7 +114,9 @@ let rec join_iteration t it =
   Hashtbl.replace t.obcs it obc;
   List.iter (fun (origin, v) -> Obc.on_value obc ~origin v) (drain t.buffered_values it);
   List.iter (fun (from, pairs) -> Obc.on_report obc ~from pairs) (drain t.buffered_reports it);
-  Obc.start obc (Hashtbl.find t.history (it - 1));
+  (match Hashtbl.find_opt t.history (it - 1) with
+  | Some v -> Obc.start obc v
+  | None -> assert false (* join_iteration it requires v_{it-1} recorded *));
   t.set_timer ~at:(t.iter_start + (Params.c_aa_it * t.cfg.delta) + 1);
   try_advance t
 
@@ -117,7 +124,7 @@ and on_obc_output t it mset =
   if t.output = None && t.iter = it && t.pending_value = None then begin
     let k = Pairset.cardinal mset - (t.cfg.n - t.cfg.ts) in
     let trim = max k t.cfg.ta in
-    match Safe_area.new_value_arr ~t:trim (Pairset.values_arr mset) with
+    match Safe_cache.new_value_arr t.safe_cache ~t:trim (Pairset.values_arr mset) with
     | Some v ->
         let v =
           match t.mutant with
@@ -186,14 +193,19 @@ let on_rbc_deliver t (id : Message.rbc_id) payload =
       try_halt_output t
   | _ -> ()
 
-let create ?(callbacks = no_callbacks) ?(mode = Estimate) ?mutant ~cfg ~me
-    ~now ~send_all ~set_timer () =
+let create ?(callbacks = no_callbacks) ?(mode = Estimate) ?mutant
+    ?(message_layer = `Interned) ?safe_cache ~cfg ~me ~now ~send_all
+    ~set_timer () =
   let t =
     {
       cfg;
       me;
       mode;
       mutant;
+      message_layer;
+      intern = Intern.create ();
+      safe_cache =
+        (match safe_cache with Some c -> c | None -> Safe_cache.create ());
       cbs = callbacks;
       now;
       send_all;
@@ -218,11 +230,13 @@ let create ?(callbacks = no_callbacks) ?(mode = Estimate) ?mutant ~cfg ~me
   in
   t.rbc <-
     Some
-      (Rbc.create ~n:cfg.Config.n ~t:cfg.Config.ts
+      (Rbc.create ~impl:message_layer ~intern:t.intern ~n:cfg.Config.n
+         ~t:cfg.Config.ts
          { Rbc.send_all; deliver = (fun id payload -> on_rbc_deliver t id payload) });
   t.init <-
     Some
-      (Init_round.create ~n:cfg.Config.n ~ts:cfg.Config.ts ~ta:cfg.Config.ta
+      (Init_round.create ~safe_cache:t.safe_cache ~n:cfg.Config.n
+         ~ts:cfg.Config.ts ~ta:cfg.Config.ta
          ~delta:cfg.Config.delta ~eps:cfg.Config.eps
          {
            Init_round.now;
@@ -286,9 +300,10 @@ let handle t (ev : Message.t Engine.event) =
           | _ -> ())
       | Message.Sync_round _ | Message.Junk _ -> ())
 
-let attach ?callbacks ?mode ?mutant ~cfg ~me engine =
+let attach ?callbacks ?mode ?mutant ?message_layer ?safe_cache ~cfg ~me engine
+    =
   let t =
-    create ?callbacks ?mode ?mutant ~cfg ~me
+    create ?callbacks ?mode ?mutant ?message_layer ?safe_cache ~cfg ~me
       ~now:(fun () -> Engine.now engine)
       ~send_all:(fun msg -> Engine.broadcast engine ~src:me msg)
       ~set_timer:(fun ~at -> Engine.set_timer engine ~party:me ~at ~tag:0)

@@ -50,6 +50,8 @@ val create :
   ?callbacks:callbacks ->
   ?mode:mode ->
   ?mutant:mutant ->
+  ?message_layer:[ `Interned | `Reference ] ->
+  ?safe_cache:Safe_cache.t ->
   cfg:Config.t ->
   me:int ->
   now:(unit -> int) ->
@@ -62,12 +64,24 @@ val attach :
   ?callbacks:callbacks ->
   ?mode:mode ->
   ?mutant:mutant ->
+  ?message_layer:[ `Interned | `Reference ] ->
+  ?safe_cache:Safe_cache.t ->
   cfg:Config.t ->
   me:int ->
   Message.t Engine.t ->
   t
 (** Creates the party wired to the engine and registers its handler.
-    [mode] defaults to [Estimate]. *)
+    [mode] defaults to [Estimate]. [message_layer] selects the broadcast
+    implementations (default [`Interned], the fast path): the party owns
+    one {!Intern} hash-consing table shared by its rBC multiplexer and
+    every per-iteration oBC instance, created fresh per party — so a run
+    never sees another run's payload ids. [`Reference] wires the seed
+    Map-based layers instead; both produce bit-identical traces.
+    [safe_cache] memoises the new-value rule; pass one cache to every
+    party of a run ({!Maaa.run} and the harness runner do) so identical
+    report multisets are evaluated once per run instead of once per
+    party. Results are bit-identical either way — the cache is keyed on
+    the exact value multiset. Never share one across engines/runs. *)
 
 val start : t -> Vec.t -> unit
 (** Join the protocol with input [v] (dimension must match the config). *)

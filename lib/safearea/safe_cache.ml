@@ -1,0 +1,49 @@
+(* Memoised safe-area midpoints, shared across the parties of one run.
+   ΠAA's new-value rule is a pure function of (trim, multiset): under any
+   schedule where several honest parties assemble the same report multiset
+   in the same iteration — which is every party, every iteration, in a
+   synchronous run without equivocation — the 2-D kernel redoes the same
+   O(C(m, m-t)) polygon intersection per party. Keying on the
+   canonically-sorted multiset collapses those to one computation. The
+   cached vector is exactly what the uncached call would have returned
+   (same inputs, deterministic kernel), so results are bit-identical;
+   sharing the physical vector is safe because [Vec.t] is immutable. *)
+
+type key = { trim : int; vs : Vec.t array (* sorted by Vec.compare *) }
+
+module H = Hashtbl.Make (struct
+  type t = key
+
+  let equal a b =
+    a.trim = b.trim
+    && Array.length a.vs = Array.length b.vs
+    &&
+    let n = Array.length a.vs in
+    let rec go i = i = n || (Vec.equal_exact a.vs.(i) b.vs.(i) && go (i + 1)) in
+    go 0
+
+  let hash k =
+    let h = ref ((k.trim + 1) * 0x01000193) in
+    Array.iter (fun v -> h := (!h * 0x01000193) lxor Vec.hash v) k.vs;
+    !h land max_int
+end)
+
+type t = Vec.t option H.t
+
+let create () = H.create 64
+
+let new_value_arr cache ~t vs =
+  (* Canonicalise the order here so permutations of one multiset share an
+     entry; [Safe_area.new_value_arr] re-sorts its own copy, which is
+     idempotent and cheap next to the kernel. *)
+  let vs = Array.copy vs in
+  Array.sort Vec.compare vs;
+  let key = { trim = t; vs } in
+  match H.find_opt cache key with
+  | Some r -> r
+  | None ->
+      let r = Safe_area.new_value_arr ~t vs in
+      H.add cache key r;
+      r
+
+let reset = H.reset

@@ -3,8 +3,6 @@ type time = int
 type 'msg event = Deliver of { src : int; msg : 'msg } | Timer of int
 type delay_policy = rng:Rng.t -> now:time -> src:int -> dst:int -> time
 
-type 'msg item = { at : time; seq : int; target : int; ev : 'msg event }
-
 type stats = {
   messages_sent : int;
   bytes_sent : int;
@@ -29,7 +27,7 @@ type 'msg t = {
   policy : delay_policy;
   rng : Rng.t;
   size_of : 'msg -> int;
-  queue : 'msg item Heap.t;
+  queue : 'msg event Heap.Keyed.t;  (* aux rider = delivery target *)
   handlers : ('msg event -> unit) option array;
   mutable tracer : ('msg trace_event -> unit) option;
   mutable isolation : isolation;
@@ -42,9 +40,14 @@ type 'msg t = {
   mutable events_processed : int;
 }
 
-let cmp_item (a : _ item) (b : _ item) =
-  let c = compare a.at b.at in
-  if c <> 0 then c else compare a.seq b.seq
+(* The queue orders events by (delivery time, push sequence), packed into
+   one int key so the heap sifts on immediate integer comparisons — this
+   runs O(log queue) times per event and used to be a polymorphic-compare
+   C call each time. [seq_bits] caps one run at 2^31 pushes and 2^31
+   ticks, both far beyond [max_events]; ties are impossible because [seq]
+   is distinct per push, so the pop order is exactly the old (at, seq)
+   lexicographic order. *)
+let seq_bits = 31
 
 let create ?(seed = 0x5eedL) ?(size_of = fun _ -> 0) ~n ~policy () =
   if n <= 0 then invalid_arg "Engine.create: n must be positive";
@@ -53,7 +56,7 @@ let create ?(seed = 0x5eedL) ?(size_of = fun _ -> 0) ~n ~policy () =
     policy;
     rng = Rng.create seed;
     size_of;
-    queue = Heap.create ~cmp:cmp_item;
+    queue = Heap.Keyed.create ();
     handlers = Array.make n None;
     tracer = None;
     isolation = `Fail_fast;
@@ -88,7 +91,7 @@ let failures t = List.rev t.failures
 let push t ~at ~target ev =
   let at = max at t.now in
   t.seq <- t.seq + 1;
-  Heap.push t.queue { at; seq = t.seq; target; ev }
+  Heap.Keyed.push t.queue ~key:((at lsl seq_bits) lor t.seq) ~aux:target ev
 
 let send t ~src ~dst msg =
   if dst < 0 || dst >= t.n then invalid_arg "Engine.send: bad destination";
@@ -110,52 +113,54 @@ let set_timer t ~party ~at ~tag =
   if party < 0 || party >= t.n then invalid_arg "Engine.set_timer: bad party";
   push t ~at ~target:party (Timer tag)
 
-let quiescent t = Heap.is_empty t.queue
+let quiescent t = Heap.Keyed.is_empty t.queue
 
 let run ?until ?(max_events = 10_000_000) t =
   let continue = ref true in
   while !continue do
-    match Heap.peek t.queue with
-    | None -> continue := false
-    | Some { at; _ } when (match until with Some u -> at > u | None -> false)
-      ->
+    if Heap.Keyed.is_empty t.queue then continue := false
+    else
+      let at = Heap.Keyed.min_key_exn t.queue lsr seq_bits in
+      if match until with Some u -> at > u | None -> false then
         continue := false
-    | Some _ ->
+      else begin
         if t.events_processed >= max_events then
           failwith "Engine.run: max_events exceeded (run-away protocol?)";
-        let item = Heap.pop_exn t.queue in
-        t.now <- max t.now item.at;
+        let target = Heap.Keyed.min_aux_exn t.queue in
+        let ev = Heap.Keyed.pop_exn t.queue in
+        t.now <- max t.now at;
         t.events_processed <- t.events_processed + 1;
-        (match item.ev with
+        (match ev with
         | Deliver { src; msg } ->
             t.messages_delivered <- t.messages_delivered + 1;
             (match t.tracer with
-            | Some f -> f (Delivered { src; dst = item.target; at = t.now; msg })
+            | Some f -> f (Delivered { src; dst = target; at = t.now; msg })
             | None -> ())
         | Timer tag -> (
             match t.tracer with
-            | Some f -> f (Timer_fired { party = item.target; at = t.now; tag })
+            | Some f -> f (Timer_fired { party = target; at = t.now; tag })
             | None -> ()));
-        (match t.handlers.(item.target) with
+        (match t.handlers.(target) with
         | Some h -> (
             match t.isolation with
-            | `Fail_fast -> h item.ev
+            | `Fail_fast -> h ev
             | `Isolate -> (
-                try h item.ev
+                try h ev
                 with exn ->
                   let f =
                     {
-                      party = item.target;
+                      party = target;
                       at = t.now;
                       reason = Printexc.to_string exn;
                     }
                   in
-                  t.handlers.(item.target) <- None;
+                  t.handlers.(target) <- None;
                   t.failures <- f :: t.failures;
                   (match t.tracer with
                   | Some tr -> tr (Party_failed f)
                   | None -> ())))
         | None -> ())
+      end
   done
 
 let stats t =

@@ -60,3 +60,99 @@ let pop t = if t.size = 0 then None else Some (pop_exn t)
 
 let peek t = if t.size = 0 then None else Some t.data.(0)
 let clear t = t.size <- 0
+
+(* Int-keyed variant for the engine's hot loop: keys live in their own
+   unboxed int array, so a sift does immediate integer reads instead of a
+   closure call plus two pointer dereferences per comparison. The payload
+   array mirrors every key move. *)
+module Keyed = struct
+  type 'a t = {
+    mutable keys : int array;
+    mutable aux : int array;  (* one unboxed int rider per entry *)
+    mutable data : 'a array;
+    mutable size : int;
+  }
+
+  let create () = { keys = [||]; aux = [||]; data = [||]; size = 0 }
+  let is_empty t = t.size = 0
+  let size t = t.size
+
+  let grow t x =
+    let cap = Array.length t.keys in
+    if t.size = cap then begin
+      let ncap = max 16 (2 * cap) in
+      let nk = Array.make ncap 0
+      and na = Array.make ncap 0
+      and nd = Array.make ncap x in
+      Array.blit t.keys 0 nk 0 t.size;
+      Array.blit t.aux 0 na 0 t.size;
+      Array.blit t.data 0 nd 0 t.size;
+      t.keys <- nk;
+      t.aux <- na;
+      t.data <- nd
+    end
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if t.keys.(i) < t.keys.(parent) then begin
+        let k = t.keys.(i) and a = t.aux.(i) and d = t.data.(i) in
+        t.keys.(i) <- t.keys.(parent);
+        t.aux.(i) <- t.aux.(parent);
+        t.data.(i) <- t.data.(parent);
+        t.keys.(parent) <- k;
+        t.aux.(parent) <- a;
+        t.data.(parent) <- d;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < t.size && t.keys.(l) < t.keys.(!smallest) then smallest := l;
+    if r < t.size && t.keys.(r) < t.keys.(!smallest) then smallest := r;
+    let s = !smallest in
+    if s <> i then begin
+      let k = t.keys.(i) and a = t.aux.(i) and d = t.data.(i) in
+      t.keys.(i) <- t.keys.(s);
+      t.aux.(i) <- t.aux.(s);
+      t.data.(i) <- t.data.(s);
+      t.keys.(s) <- k;
+      t.aux.(s) <- a;
+      t.data.(s) <- d;
+      sift_down t s
+    end
+
+  let push t ~key ?(aux = 0) x =
+    grow t x;
+    t.keys.(t.size) <- key;
+    t.aux.(t.size) <- aux;
+    t.data.(t.size) <- x;
+    t.size <- t.size + 1;
+    sift_up t (t.size - 1)
+
+  let peek_key t = if t.size = 0 then None else Some t.keys.(0)
+
+  let min_key_exn t =
+    if t.size = 0 then invalid_arg "Heap.Keyed.min_key_exn: empty heap";
+    t.keys.(0)
+
+  let min_aux_exn t =
+    if t.size = 0 then invalid_arg "Heap.Keyed.min_aux_exn: empty heap";
+    t.aux.(0)
+
+  let pop_exn t =
+    if t.size = 0 then invalid_arg "Heap.Keyed.pop_exn: empty heap";
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.keys.(0) <- t.keys.(t.size);
+      t.aux.(0) <- t.aux.(t.size);
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    top
+
+  let clear t = t.size <- 0
+end

@@ -18,3 +18,36 @@ val pop_exn : 'a t -> 'a
 
 val peek : 'a t -> 'a option
 val clear : 'a t -> unit
+
+(** Min-heap with explicit [int] keys held in an unboxed array — the
+    engine's event queue. Ties are broken by whatever the caller packs
+    into the key (the engine packs [(time, seq)] into one int), so equal
+    keys never arise there. *)
+module Keyed : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val is_empty : 'a t -> bool
+  val size : 'a t -> int
+  val push : 'a t -> key:int -> ?aux:int -> 'a -> unit
+  (** [aux] (default 0) is an unboxed int carried alongside the element —
+      the engine stores the delivery target there instead of allocating a
+      wrapper record per event. *)
+
+  val peek_key : 'a t -> int option
+  (** The minimal key without removing its element. *)
+
+  val min_key_exn : 'a t -> int
+  (** {!peek_key} without the option allocation, for the engine's loop.
+      @raise Invalid_argument on an empty heap. *)
+
+  val min_aux_exn : 'a t -> int
+  (** The [aux] rider of the minimal-key element.
+      @raise Invalid_argument on an empty heap. *)
+
+  val pop_exn : 'a t -> 'a
+  (** Removes and returns an element with the minimal key.
+      @raise Invalid_argument on an empty heap. *)
+
+  val clear : 'a t -> unit
+end

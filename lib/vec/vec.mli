@@ -65,6 +65,17 @@ val compare : t -> t -> int
 val equal : ?eps:float -> t -> t -> bool
 (** Coordinate-wise equality up to [eps] (default [1e-9]). *)
 
+val equal_exact : t -> t -> bool
+(** [equal_exact u v] iff [compare u v = 0]: same dimension and every
+    coordinate equal under [Float.compare] (so NaNs compare equal to NaNs,
+    and [0.] ≠ [-0.]). The exact-identity relation the message-layer
+    interning uses — no tolerance. *)
+
+val hash : t -> int
+(** A structural hash of the coordinate bits, consistent with
+    {!equal_exact}: [equal_exact u v] implies [hash u = hash v] (all NaNs
+    hash alike). Never calls the polymorphic [Hashtbl.hash]. *)
+
 val diameter : t list -> float
 (** [diameter vs] is [δmax(vs) = max δ(v, v')], [0.] on short lists. *)
 

@@ -28,4 +28,35 @@ grep -q '"violations_total": 0' _build/SOAK_smoke.json
 echo "== bench smoke run =="
 dune exec bench/main.exe -- --smoke --json _build/BENCH_smoke.json
 grep -q '"schema": "maaa-bench/1"' _build/BENCH_smoke.json
+
+echo "== bench derived keys =="
+for key in b6_speedup_n12 b7_speedup b11_speedup_vote_storm \
+    b11_speedup_instances b10_speedup_2_domains_vs_sequential \
+    b10_speedup_4_domains_vs_sequential; do
+  grep -q "\"$key\"" _build/BENCH_smoke.json || {
+    echo "ci: missing derived key $key in BENCH_smoke.json" >&2
+    exit 1
+  }
+done
+
+# Chunked dispatch must keep 2-domain sweeps from regressing below 0.95x
+# sequential. Only meaningful with real parallelism: on a 1-core box every
+# extra domain just adds minor-GC stop-the-world synchronisation.
+cores=$( (nproc || getconf _NPROCESSORS_ONLN || echo 1) 2>/dev/null | head -n1 )
+if [ "$cores" -ge 2 ]; then
+  echo "== b10 2-domain throughput gate ($cores cores) =="
+  awk '
+    /"b10_speedup_2_domains_vs_sequential"/ {
+      v = $2; gsub(/[,"]/, "", v)
+      if (v == "null" || v + 0 < 0.95) {
+        printf "ci: b10 2-domain speedup %s < 0.95\n", v > "/dev/stderr"
+        exit 1
+      }
+      found = 1
+    }
+    END { if (!found) { print "ci: b10 2-domain key missing" > "/dev/stderr"; exit 1 } }
+  ' _build/BENCH_smoke.json
+else
+  echo "== b10 throughput gate skipped (single core) =="
+fi
 echo "ci: OK"

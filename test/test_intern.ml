@@ -1,0 +1,198 @@
+(* Unit tests for the Intern hash-consing table, plus the differential
+   guarantee the interned message layer is built on: engine traces and
+   run results are byte-identical to the Reference (seed) layer — the
+   fast path changes representation, never behaviour. *)
+
+let vec l = Vec.of_list l
+
+(* --- Intern unit tests --- *)
+
+let test_intern_basic () =
+  let t = Intern.create () in
+  let p1 = Message.Pvec (vec [ 1.; 2. ]) in
+  let p2 = Message.Pvec (vec [ 1.; 2. ]) in
+  let p3 = Message.Pvec (vec [ 1.; 3. ]) in
+  let id1 = Intern.intern t p1 in
+  Alcotest.(check int) "ids are dense from 0" 0 id1;
+  Alcotest.(check int) "equal payload, same id" id1 (Intern.intern t p2);
+  Alcotest.(check bool)
+    "distinct payload, distinct id" true
+    (Intern.intern t p3 <> id1);
+  Alcotest.(check int) "count" 2 (Intern.count t);
+  Alcotest.(check bool)
+    "canonical representative is the first seen" true
+    (Intern.payload t id1 == p1);
+  Alcotest.(check bool)
+    "intern_payload canonicalizes" true
+    (Intern.intern_payload t p2 == p1);
+  Alcotest.check_raises "unknown id"
+    (Invalid_argument "Intern.payload: bad id") (fun () ->
+      ignore (Intern.payload t 99))
+
+let test_intern_constructors () =
+  let t = Intern.create () in
+  let payloads =
+    [
+      Message.Pint 3;
+      Message.Pvec (vec [ 3. ]);
+      Message.Pparties [ 3 ];
+      Message.Ppairs [ (3, vec [ 3. ]) ];
+      Message.Ppairs [ (3, vec [ 3. ]); (4, vec [ 1.; 2. ]) ];
+      Message.Pparties [];
+      Message.Ppairs [];
+    ]
+  in
+  let ids = List.map (Intern.intern t) payloads in
+  Alcotest.(check int)
+    "all constructors distinct"
+    (List.length payloads)
+    (List.length (List.sort_uniq compare ids));
+  (* id partition = Stdlib.compare partition, on re-interning *)
+  List.iter2
+    (fun p id -> Alcotest.(check int) "stable on re-intern" id (Intern.intern t p))
+    payloads ids
+
+(* The partition guarantee under NaN: [Stdlib.compare] calls any two NaNs
+   equal, so the interner must give every NaN-bearing-but-otherwise-equal
+   vector one id — even when the NaNs have different bit patterns. *)
+let test_intern_nan () =
+  let t = Intern.create () in
+  let quiet = Float.nan in
+  let computed = 0. /. 0. in
+  (* different bit pattern on most platforms *)
+  let a = Intern.intern t (Message.Pvec (vec [ quiet; 1. ])) in
+  let b = Intern.intern t (Message.Pvec (vec [ computed; 1. ])) in
+  Alcotest.(check int) "NaN payloads share an id" a b;
+  Alcotest.(check int)
+    "matching Stdlib.compare" 0
+    (compare [| quiet; 1. |] [| computed; 1. |]);
+  let c = Intern.intern t (Message.Pvec (vec [ 1.; quiet ])) in
+  Alcotest.(check bool) "NaN position still matters" true (a <> c)
+
+let test_intern_collision_chains () =
+  (* fixed one-bucket table: every payload hash-collides, correctness
+     must come from the equality chain walk alone *)
+  let t = Intern.create ~fixed:true ~initial_size:1 () in
+  let payloads =
+    List.init 64 (fun i -> Message.Pvec (vec [ float_of_int i; 0.5 ]))
+  in
+  let ids = List.map (Intern.intern t) payloads in
+  Alcotest.(check (list int)) "dense ids in order" (List.init 64 Fun.id) ids;
+  Alcotest.(check (list int))
+    "chain lookups still hit" ids
+    (List.map (Intern.intern t) payloads);
+  Alcotest.(check int) "count" 64 (Intern.count t);
+  List.iter2
+    (fun p id ->
+      Alcotest.(check bool) "payload round-trip" true (Intern.payload t id == p))
+    payloads ids
+
+let test_intern_reset () =
+  let t = Intern.create () in
+  let p = Message.Pint 7 in
+  let id = Intern.intern t p in
+  Intern.reset t;
+  Alcotest.(check int) "count back to 0" 0 (Intern.count t);
+  Alcotest.check_raises "old ids are gone"
+    (Invalid_argument "Intern.payload: bad id") (fun () ->
+      ignore (Intern.payload t id));
+  Alcotest.(check int) "ids restart at 0" 0 (Intern.intern t (Message.Pint 9));
+  Alcotest.(check int) "fresh table semantics" 1 (Intern.intern t p)
+
+(* --- engine-level differential: byte-identical traces --- *)
+
+(* Full ΠAA under an async heavy-tail schedule, the whole trace (sends
+   with delivery times, deliveries, timers) captured via the tracer.
+   Interned and Reference layers must produce traces that [compare]
+   equal: the canonical payloads the fast path re-broadcasts are
+   structurally equal to what the seed layer would have sent. *)
+let trace_of message_layer =
+  let n = 5 in
+  let cfg = Config.make_exn ~n ~ts:1 ~ta:1 ~d:2 ~eps:0.1 ~delta:10 in
+  let inputs =
+    List.init n (fun i -> vec [ float_of_int i; float_of_int (i mod 3) ])
+  in
+  let engine =
+    Engine.create ~seed:7L ~size_of:Message.size_of ~n
+      ~policy:(Network.async_heavy_tail ~base:8) ()
+  in
+  let events = ref [] in
+  Engine.set_tracer engine (fun ev -> events := ev :: !events);
+  let parties =
+    List.init n (fun i -> Party.attach ~message_layer ~cfg ~me:i engine)
+  in
+  List.iteri (fun i p -> Party.start p (List.nth inputs i)) parties;
+  Engine.run engine;
+  (List.rev !events, List.map Party.output parties, Engine.stats engine)
+
+let test_traces_identical () =
+  let ta, oa, sa = trace_of `Interned in
+  let tb, ob, sb = trace_of `Reference in
+  Alcotest.(check int) "trace length" (List.length tb) (List.length ta);
+  Alcotest.(check bool) "traces compare equal" true (compare ta tb = 0);
+  Alcotest.(check bool) "outputs compare equal" true (compare oa ob = 0);
+  Alcotest.(check bool) "stats compare equal" true (compare sa sb = 0)
+
+(* --- runner-level differential: the full scenario grid --- *)
+
+(* Same grid shape as test_pool.ml: D 1..3, sync and async networks, a
+   silent crash and an out-of-hull poisoner. Whole-record compare. *)
+let grid () =
+  let poison d = Behavior.Honest_with_input (Vec.make d 50.) in
+  List.concat_map
+    (fun (d, n, ts, ta) ->
+      let cfg = Config.make_exn ~n ~ts ~ta ~d ~eps:0.1 ~delta:10 in
+      let inputs =
+        List.init n (fun i ->
+            Vec.of_list (List.init d (fun c -> float_of_int ((i + c) mod 4))))
+      in
+      List.concat_map
+        (fun (pname, policy, sync) ->
+          List.map
+            (fun (bname, corruptions) ->
+              Scenario.make
+                ~name:(Printf.sprintf "diff D=%d %s %s" d pname bname)
+                ~seed:(Int64.of_int ((d * 131) + n))
+                ~cfg ~inputs ~policy ~sync_network:sync ~corruptions ())
+            [
+              ("silent", [ (0, Behavior.Silent) ]);
+              ("poison", [ (0, poison d) ]);
+            ])
+        [
+          ("sync", Network.sync_uniform ~delta:10, true);
+          ("async", Network.async_heavy_tail ~base:8, false);
+        ])
+    [ (1, 4, 1, 0); (2, 5, 1, 1); (3, 5, 1, 0) ]
+
+let test_grid_differential () =
+  List.iter
+    (fun s ->
+      let a = Runner.run { s with Scenario.message_layer = `Interned } in
+      let b = Runner.run { s with Scenario.message_layer = `Reference } in
+      Alcotest.(check bool)
+        (s.Scenario.name ^ " identical across message layers")
+        true
+        (compare (a : Runner.result) b = 0))
+    (grid ())
+
+let () =
+  Alcotest.run "intern"
+    [
+      ( "intern table",
+        [
+          Alcotest.test_case "basic interning" `Quick test_intern_basic;
+          Alcotest.test_case "constructor coverage" `Quick
+            test_intern_constructors;
+          Alcotest.test_case "NaN partition" `Quick test_intern_nan;
+          Alcotest.test_case "forced collision chains" `Quick
+            test_intern_collision_chains;
+          Alcotest.test_case "reset" `Quick test_intern_reset;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "engine traces byte-identical" `Quick
+            test_traces_identical;
+          Alcotest.test_case "scenario grid whole-record" `Quick
+            test_grid_differential;
+        ] );
+    ]

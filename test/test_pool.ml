@@ -42,6 +42,67 @@ let test_pool_shutdown () =
     (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
       Pool.submit pool (fun () -> ()))
 
+(* --- map_chunked: batched dispatch, same contract as map --- *)
+
+let test_map_chunked_matches_map () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      let xs = List.init 53 Fun.id in
+      let f i = (i * 7) - 3 in
+      let expected = List.map f xs in
+      Alcotest.(check (list int))
+        "default chunking" expected
+        (Pool.map_chunked pool f xs);
+      (* explicit chunk sizes, including per-item and one-chunk-fits-all *)
+      List.iter
+        (fun chunk_size ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "chunk_size=%d" chunk_size)
+            expected
+            (Pool.map_chunked ~chunk_size pool f xs))
+        [ 1; 2; 7; 53; 1000 ];
+      Alcotest.(check (list int))
+        "empty list" []
+        (Pool.map_chunked pool f []);
+      Alcotest.check_raises "chunk_size must be positive"
+        (Invalid_argument "Pool.map_chunked: chunk_size 0")
+        (fun () -> ignore (Pool.map_chunked ~chunk_size:0 pool f xs)))
+
+let test_map_chunked_exception_isolation () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      (* failures inside a chunk: the rest of the chunk still runs, and
+         the lowest-indexed failure is the one re-raised — exactly the
+         Pool.map contract *)
+      (match
+         Pool.map_chunked ~chunk_size:4 pool
+           (fun i ->
+             if i = 5 || i = 11 then failwith (Printf.sprintf "chunk%d" i)
+             else i)
+           (List.init 16 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected a failure to propagate"
+      | exception Failure m ->
+          Alcotest.(check string) "first failing index wins" "chunk5" m);
+      let out = Pool.map_chunked pool string_of_int [ 4; 5; 6 ] in
+      Alcotest.(check (list string)) "usable after failure" [ "4"; "5"; "6" ] out)
+
+(* Contention microbench for the signal-one wakeup path: thousands of
+   sub-microsecond jobs dispatched per-item. With broadcast-on-submit
+   this thrashes; with the waiting-counter signal it must still complete
+   every job (no lost wakeups) and stay ordered. *)
+let test_pool_contention_many_tiny_jobs () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let n = 4000 in
+      let xs = List.init n Fun.id in
+      let out = Pool.map_chunked ~chunk_size:1 pool (fun i -> i + 1) xs in
+      Alcotest.(check int) "all jobs ran" n (List.length out);
+      Alcotest.(check int)
+        "sum checks out"
+        (n * (n + 1) / 2)
+        (List.fold_left ( + ) 0 out);
+      (* and the same storm through plain map (per-item submit) *)
+      let out = Pool.map pool (fun i -> i * 2) xs in
+      Alcotest.(check (list int)) "map storm ordered" (List.map (fun i -> i * 2) xs) out)
+
 (* --- Runner.run_batch: bit-identical parallel replay --- *)
 
 (* A grid of scenarios over D in 1..3, sync/async delay policies and two
@@ -139,6 +200,12 @@ let () =
           Alcotest.test_case "exception isolation" `Quick
             test_pool_exception_does_not_wedge;
           Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
+          Alcotest.test_case "map_chunked = map" `Quick
+            test_map_chunked_matches_map;
+          Alcotest.test_case "map_chunked exception isolation" `Quick
+            test_map_chunked_exception_isolation;
+          Alcotest.test_case "contention: tiny-job storm" `Quick
+            test_pool_contention_many_tiny_jobs;
         ] );
       ( "run_batch",
         [
