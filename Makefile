@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json ci par-check soak soak-smoke clean
+.PHONY: all build test bench bench-json ci par-check soak soak-smoke soak-resume clean
 
 all: build
 
@@ -29,23 +29,36 @@ par-check:
 	@echo "par-check: OK (1-domain and 2-domain reports are byte-identical)"
 
 # Randomized chaos soak: seeded (scenario x fault-plan) cases under the
-# online invariant monitor, violations shrunk to minimal reproducing
-# plans. Writes SOAK.json (schema "maaa-soak/1"):
-#   seed, mutant, cases, sync_cases, async_cases   -- the sampled grid
+# online invariant monitor and a per-case watchdog (event budget + wall
+# deadline), violations shrunk to minimal reproducing plans, watchdogged
+# or worker-crashed cases quarantined with a shrunk repro. Writes
+# SOAK.json (schema "maaa-soak/2"):
+#   seed, mutant, case_events, cases, sync_cases, async_cases -- the grid
 #   checks, violations_total, invariants{...}      -- per-invariant totals
 #     (validity, agreement, contraction, double-output, malformed-message)
 #   missing_outputs, party_failures                -- liveness / isolation
+#   quarantined                                    -- watchdogged/crashed cases
 #   worst_final_diameter{case, value, eps}         -- tightest agreement seen
+#   quarantined_cases[{name, seed, sync, reason, plan, shrunk_plan,
+#     shrink_tries, shrink_minimal}]
 #   violating_cases[{name, seed, sync, invariants, violations,
 #     first_violation, plan, shrunk_plan, shrink_tries, shrink_minimal}]
-# The report contains no wall-clock data and is byte-identical for any
-# --domains count. Exit code 1 iff any invariant was violated (expected
+# Quarantined cases are excluded from every aggregate (a truncated run's
+# monitor tables are not trustworthy). The report contains no wall-clock
+# data and is byte-identical for any --domains count and for an
+# interrupted-and-resumed sweep (--journal FILE / --resume) vs an
+# uninterrupted one. Exit code 1 iff any invariant was violated (expected
 # with --mutant non-contracting | premature-output).
 soak:
-	dune exec bin/soak_main.exe -- --cases 500 --seed 7
+	dune exec bin/soak_main.exe -- --cases 500 --seed 7 --journal _build/SOAK.journal
 
 soak-smoke:
 	dune exec bin/soak_main.exe -- --smoke --domains 2 --out _build/SOAK_smoke.json
+
+# Kill-and-resume audit: SIGKILL a journaled sweep mid-run, resume it on a
+# different --domains count, and require the byte-identical SOAK.json.
+soak-resume:
+	sh scripts/soak_resume.sh
 
 clean:
 	dune clean

@@ -1,19 +1,40 @@
 (* Randomized chaos soak driver.
    Usage: soak.exe [--cases N] [--seed S] [--domains N] [--mutant M]
-                   [--out FILE] [--smoke]
+                   [--out FILE] [--journal FILE] [--resume]
+                   [--case-events N] [--wall SECONDS|none] [--retries N]
+                   [--inject-stuck I] [--smoke]
    Runs N seeded (scenario × fault-plan) cases under the online invariant
-   monitor, shrinks any violating case to a minimal reproducing plan and
-   writes a SOAK.json report (schema maaa-soak/1; see `make help-soak`).
-   Exit code 1 when any invariant was violated — which is the EXPECTED
-   outcome with --mutant, where a deliberately broken protocol variant
-   must be caught. The report is byte-identical for any --domains. *)
+   monitor with a per-case watchdog, shrinks any abnormal case to a minimal
+   reproducing plan, quarantines cases the watchdog stopped, and writes a
+   SOAK.json report (schema maaa-soak/2; see `make help-soak`). With
+   --journal the sweep checkpoints every finished case; --resume replays
+   the journal and finishes the remainder, producing a byte-identical
+   report. Exit code 1 when any invariant was violated — which is the
+   EXPECTED outcome with --mutant, where a deliberately broken protocol
+   variant must be caught. The report is byte-identical for any --domains.
+   All argument errors are one line on stderr and exit code 2. *)
 
-let usage () =
-  prerr_endline
-    "usage: soak.exe [--cases N] [--seed S] [--domains N]\n\
-    \                [--mutant none|non-contracting|premature-output]\n\
-    \                [--out FILE] [--smoke]";
-  exit 2
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("soak: " ^ msg);
+      exit 2)
+    fmt
+
+(* Every malformed value gets its own one-line diagnostic (not just the
+   usage block): these are the errors scripts hit, and "which flag, which
+   value, what was expected" is what makes them greppable in CI logs. *)
+let pos_int ~flag v =
+  match int_of_string_opt v with
+  | Some n when n >= 1 -> n
+  | Some n -> die "%s must be >= 1 (got %d)" flag n
+  | None -> die "%s expects a positive integer (got %S)" flag v
+
+let nonneg_int ~flag v =
+  match int_of_string_opt v with
+  | Some n when n >= 0 -> n
+  | Some n -> die "%s must be >= 0 (got %d)" flag n
+  | None -> die "%s expects a non-negative integer (got %S)" flag v
 
 let () =
   let cases = ref Soak.default.Soak.cases in
@@ -24,60 +45,108 @@ let () =
       | Some s -> (
           match int_of_string_opt s with
           | Some n when n >= 1 -> n
-          | _ ->
-              prerr_endline "soak: MAAA_DOMAINS must be a positive integer";
-              exit 2)
+          | _ -> die "MAAA_DOMAINS must be a positive integer (got %S)" s)
       | None -> Domain.recommended_domain_count ())
   in
   let mutant = ref None in
   let out_file = ref (Some "SOAK.json") in
+  let journal = ref None in
+  let resume = ref false in
+  let case_events = ref Soak.default.Soak.case_events in
+  let case_wall = ref Soak.default.Soak.case_wall in
+  let retries = ref Soak.default.Soak.retries in
+  let stuck = ref None in
   let rec parse = function
     | [] -> ()
-    | "--cases" :: v :: rest -> (
-        match int_of_string_opt v with
-        | Some n when n >= 1 ->
-            cases := n;
-            parse rest
-        | _ -> usage ())
+    | "--cases" :: v :: rest ->
+        cases := pos_int ~flag:"--cases" v;
+        parse rest
     | "--seed" :: v :: rest -> (
         match Int64.of_string_opt v with
         | Some s ->
             seed := s;
             parse rest
-        | None -> usage ())
-    | "--domains" :: v :: rest -> (
-        match int_of_string_opt v with
-        | Some n when n >= 1 ->
-            domains := n;
-            parse rest
-        | _ -> usage ())
+        | None -> die "--seed expects a 64-bit integer (got %S)" v)
+    | "--domains" :: v :: rest ->
+        domains := pos_int ~flag:"--domains" v;
+        parse rest
     | "--mutant" :: v :: rest -> (
         match Soak.mutant_of_string v with
         | Ok m ->
             mutant := m;
             parse rest
-        | Error msg ->
-            prerr_endline ("soak: " ^ msg);
-            usage ())
+        | Error msg -> die "%s" msg)
     | "--out" :: v :: rest ->
         out_file := (if v = "-" then None else Some v);
+        parse rest
+    | "--journal" :: v :: rest ->
+        journal := Some v;
+        parse rest
+    | "--resume" :: rest ->
+        resume := true;
+        parse rest
+    | "--case-events" :: v :: rest ->
+        case_events := pos_int ~flag:"--case-events" v;
+        parse rest
+    | "--wall" :: "none" :: rest ->
+        case_wall := None;
+        parse rest
+    | "--wall" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some w when w > 0. ->
+            case_wall := Some w;
+            parse rest
+        | _ -> die "--wall expects a positive number of seconds or 'none' (got %S)" v)
+    | "--retries" :: v :: rest ->
+        retries := nonneg_int ~flag:"--retries" v;
+        parse rest
+    | "--inject-stuck" :: v :: rest ->
+        stuck := Some (nonneg_int ~flag:"--inject-stuck" v);
         parse rest
     | "--smoke" :: rest ->
         cases := 60;
         parse rest
-    | _ -> usage ()
+    | [ flag ]
+      when List.mem flag
+             [ "--cases"; "--seed"; "--domains"; "--mutant"; "--out";
+               "--journal"; "--case-events"; "--wall"; "--retries";
+               "--inject-stuck" ] ->
+        die "%s expects a value" flag
+    | flag :: _ ->
+        die
+          "unknown argument %S (usage: soak.exe [--cases N] [--seed S] \
+           [--domains N] [--mutant M] [--out FILE] [--journal FILE] \
+           [--resume] [--case-events N] [--wall SECONDS|none] [--retries N] \
+           [--inject-stuck I] [--smoke])"
+          flag
   in
   parse (List.tl (Array.to_list Sys.argv));
+  if !resume && !journal = None then die "--resume requires --journal FILE";
+  (match (!resume, !journal) with
+  | true, Some path when not (Sys.file_exists path) ->
+      die "--resume: journal %s does not exist" path
+  | _ -> ());
+  (match !stuck with
+  | Some i when i >= !cases ->
+      die "--inject-stuck %d is out of range (only %d cases)" i !cases
+  | _ -> ());
   let config =
     {
-      Soak.default with
       Soak.cases = !cases;
       seed = !seed;
       domains = !domains;
       mutant = !mutant;
+      max_shrink = Soak.default.Soak.max_shrink;
+      case_events = !case_events;
+      case_wall = !case_wall;
+      retries = !retries;
+      stuck = !stuck;
     }
   in
-  let outcome = Soak.execute config in
+  let outcome =
+    try Soak.execute ?journal:!journal ~resume:!resume config
+    with Invalid_argument msg -> die "%s" msg
+  in
   Soak.pp Format.std_formatter outcome;
   Format.pp_print_flush Format.std_formatter ();
   let json = Soak.to_json config outcome in

@@ -178,3 +178,151 @@ let map_chunked ?chunk_size pool f xs =
 let with_pool ?domains f =
   let pool = create ?domains () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* -- Supervised sweeps: worker-domain crash recovery -----------------
+
+   [map]/[map_chunked] capture job exceptions in-slot, which is right for
+   programming errors in cheap jobs — but a soak sweep must also survive
+   *fatal* worker failures (Out_of_memory, Stack_overflow, a crashed
+   runtime invariant) without losing the rest of the sweep or the results
+   already collected. [Supervised.map] therefore treats ANY exception
+   escaping a job as the death of its worker domain: the worker unwinds
+   and exits, the supervisor (the calling domain) joins the corpse, spawns
+   a replacement, and requeues the in-flight item with a bounded retry
+   count — after [max_retries] requeues the item is reported as [Crashed]
+   instead of aborting the sweep.
+
+   The supervisor is also the only domain that runs [on_done], so callers
+   can journal per-case progress (file IO) without violating the pool's
+   no-IO-in-workers rule. Outcomes keep submission order; jobs must not
+   share mutable state, exactly as with [map]. *)
+module Supervised = struct
+  type 'b outcome = Done of 'b | Crashed of { attempts : int; last_error : string }
+
+  (* Spawned-minus-joined across all Supervised sweeps; a test probe for
+     "no leaked domains", independent of Domain.recommended_domain_count. *)
+  let live = Atomic.make 0
+
+  let active_domains () = Atomic.get live
+
+  let map ?domains ?(max_retries = 1) ?on_done job xs =
+    let items = Array.of_list xs in
+    let n = Array.length items in
+    if n = 0 then []
+    else begin
+      let requested =
+        match domains with
+        | Some d -> max 1 d
+        | None -> Domain.recommended_domain_count ()
+      in
+      let size = min requested n in
+      let lock = Mutex.create () in
+      let wake_workers = Condition.create () in
+      let wake_super = Condition.create () in
+      let pending = Queue.create () in
+      (* (item index, prior crash count) *)
+      Array.iteri (fun i _ -> Queue.add (i, 0) pending) items;
+      let results = Array.make n None in
+      let completed = ref 0 in
+      let notify = Queue.create () in (* fresh outcomes for on_done *)
+      let dead = Queue.create () in (* (worker id, item, crashes, error) *)
+      let stop = ref false in
+      let workers = Hashtbl.create (size * 2) in
+      let next_wid = ref 0 in
+      let record i o =
+        (* lock held *)
+        results.(i) <- Some o;
+        incr completed;
+        Queue.add i notify;
+        Condition.signal wake_super
+      in
+      let worker_body wid =
+        let rec loop () =
+          Mutex.lock lock;
+          while Queue.is_empty pending && not !stop do
+            Condition.wait wake_workers lock
+          done;
+          if Queue.is_empty pending then Mutex.unlock lock
+          else begin
+            let i, crashes = Queue.pop pending in
+            Mutex.unlock lock;
+            match job items.(i) with
+            | v ->
+                Mutex.lock lock;
+                record i (Done v);
+                Mutex.unlock lock;
+                loop ()
+            | exception e ->
+                (* The crash path: report the death and fall off the end of
+                   the domain — the supervisor joins us and respawns. *)
+                let msg = Printexc.to_string e in
+                Mutex.lock lock;
+                Queue.add (wid, i, crashes + 1, msg) dead;
+                Condition.signal wake_super;
+                Mutex.unlock lock
+          end
+        in
+        loop ()
+      in
+      let spawn () =
+        (* lock held; the new domain blocks on [lock] until we release *)
+        let wid = !next_wid in
+        incr next_wid;
+        Atomic.incr live;
+        Hashtbl.replace workers wid (Domain.spawn (fun () -> worker_body wid))
+      in
+      let join_worker wid =
+        (* lock held; released around the join so live workers keep going *)
+        let d = Hashtbl.find workers wid in
+        Hashtbl.remove workers wid;
+        Mutex.unlock lock;
+        Domain.join d;
+        Atomic.decr live;
+        Mutex.lock lock
+      in
+      Mutex.lock lock;
+      for _ = 1 to size do
+        spawn ()
+      done;
+      while !completed < n do
+        while not (Queue.is_empty notify) do
+          let i = Queue.pop notify in
+          match on_done with
+          | None -> ()
+          | Some f ->
+              let o = Option.get results.(i) in
+              Mutex.unlock lock;
+              f i o;
+              Mutex.lock lock
+        done;
+        while not (Queue.is_empty dead) do
+          let wid, i, crashes, msg = Queue.pop dead in
+          join_worker wid;
+          if crashes > max_retries then
+            record i (Crashed { attempts = crashes; last_error = msg })
+          else begin
+            Queue.add (i, crashes) pending;
+            Condition.signal wake_workers
+          end;
+          if (not (Queue.is_empty pending)) && Hashtbl.length workers < size
+          then spawn ()
+        done;
+        if
+          !completed < n
+          && Queue.is_empty notify
+          && Queue.is_empty dead
+        then Condition.wait wake_super lock
+      done;
+      stop := true;
+      Condition.broadcast wake_workers;
+      let rest = Hashtbl.fold (fun wid _ acc -> wid :: acc) workers [] in
+      List.iter join_worker rest;
+      Mutex.unlock lock;
+      (* drain outcomes recorded after the last in-loop notify sweep *)
+      (match on_done with
+      | None -> ()
+      | Some f ->
+          Queue.iter (fun i -> f i (Option.get results.(i))) notify);
+      Array.to_list (Array.map Option.get results)
+    end
+end

@@ -43,3 +43,41 @@ val shutdown : t -> unit
 
 val with_pool : ?domains:int -> (t -> 'b) -> 'b
 (** [create], run, then [shutdown] (also on exceptions). *)
+
+(** Crash-tolerant sweeps. Where {!map} captures job exceptions in-slot,
+    [Supervised.map] treats {e any} exception escaping a job — including
+    fatal ones like [Out_of_memory] — as the death of its worker domain:
+    the worker exits, the supervising (calling) domain joins it, spawns a
+    replacement and requeues the in-flight item with a bounded retry
+    count, so the sweep degrades gracefully instead of dying. *)
+module Supervised : sig
+  type 'b outcome =
+    | Done of 'b
+    | Crashed of { attempts : int; last_error : string }
+        (** the item crashed its worker on every one of [attempts]
+            ([= max_retries + 1]) tries; [last_error] is the final
+            exception, printed *)
+
+  val map :
+    ?domains:int ->
+    ?max_retries:int ->
+    ?on_done:(int -> 'b outcome -> unit) ->
+    ('a -> 'b) ->
+    'a list ->
+    'b outcome list
+  (** Runs [job] over the list on [domains] worker domains (default
+      [Domain.recommended_domain_count ()], capped at the item count) and
+      returns one outcome per item in submission order. A job exception
+      kills its worker; the item is requeued up to [max_retries] times
+      (default [1]) onto a freshly spawned replacement, then reported as
+      [Crashed]. [on_done] — if given — is invoked in the {e calling}
+      domain, without any pool lock held, once per item as its outcome
+      becomes final (completion order, not submission order): the hook for
+      journaling incremental progress to disk. Every spawned domain is
+      joined before [map] returns, crash or no crash. *)
+
+  val active_domains : unit -> int
+  (** Domains spawned by [Supervised.map] and not yet joined, across the
+      whole process — [0] whenever no supervised sweep is in flight (the
+      no-leaked-domains test probe). *)
+end

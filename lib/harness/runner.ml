@@ -1,5 +1,13 @@
+type termination = Completed | Timed_out | Budget_exhausted
+
+let termination_to_string = function
+  | Completed -> "completed"
+  | Timed_out -> "timed-out"
+  | Budget_exhausted -> "budget-exhausted"
+
 type result = {
   scenario_name : string;
+  termination : termination;
   live : bool;
   valid : bool;
   agreement : bool;
@@ -17,7 +25,7 @@ type result = {
   monitor : Monitor.summary option;
 }
 
-let run ?(monitor = false) (s : Scenario.t) =
+let run ?(monitor = false) ?(fail_fast = false) (s : Scenario.t) =
   let cfg = s.Scenario.cfg in
   let policy =
     match s.chaos with
@@ -79,7 +87,28 @@ let run ?(monitor = false) (s : Scenario.t) =
   | None -> ()
   | Some plan -> Fault_plan.install engine ~cfg ~inputs plan);
   List.iter (fun (i, p) -> Party.start p inputs.(i)) parties;
-  Engine.run engine;
+  (* The per-case watchdog: the wall deadline is read lazily here (not at
+     scenario build time) so pooled cases are charged only for their own
+     runtime, and the engine polls it between events — a stuck case
+     unwinds into a structured [Timed_out]/[Budget_exhausted] result
+     instead of hanging the sweep or throwing across the pool. *)
+  let should_stop =
+    match s.Scenario.budget.Scenario.wall_seconds with
+    | None -> None
+    | Some w ->
+        let deadline = Unix.gettimeofday () +. w in
+        Some (fun () -> Unix.gettimeofday () > deadline)
+  in
+  Engine.run
+    ?max_events:s.Scenario.budget.Scenario.max_events
+    ~on_budget:(if fail_fast then `Raise else `Stop)
+    ?should_stop engine;
+  let termination =
+    match Engine.stop_reason engine with
+    | `Event_budget -> Budget_exhausted
+    | `Cancelled -> Timed_out
+    | `Quiescent | `Past_until -> Completed
+  in
   (* Adaptive chaos targets run the protocol but are graded as corrupt:
      every reported metric below is over the still-honest parties. *)
   let parties = List.filter (fun (i, _) -> List.mem i graded) parties in
@@ -113,6 +142,7 @@ let run ?(monitor = false) (s : Scenario.t) =
   in
   {
     scenario_name = s.name;
+    termination;
     live;
     valid;
     agreement;
@@ -189,6 +219,11 @@ let pp_summary ppf r =
     "%s: live=%b valid=%b agreement=%b diam=%.3e (eps=%g) rounds=%.1f msgs=%d"
     r.scenario_name r.live r.valid r.agreement r.diameter r.eps
     r.completion_rounds r.stats.Engine.messages_sent;
+  (match r.termination with
+  | Completed -> ()
+  | t ->
+      Format.fprintf ppf " WATCHDOG=%s(%d events)"
+        (termination_to_string t) r.stats.Engine.events_processed);
   match r.monitor with
   | None -> ()
   | Some m -> (

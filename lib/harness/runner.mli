@@ -3,8 +3,24 @@
     by LP), ε-Agreement (output diameter ≤ ε) and Liveness (every honest
     party outputs). *)
 
+type termination =
+  | Completed  (** the engine ran to quiescence *)
+  | Timed_out
+      (** the scenario's [budget.wall_seconds] deadline fired (polled
+          between engine events — cooperative, and inherently
+          non-reproducible; quarantine, don't aggregate) *)
+  | Budget_exhausted
+      (** the engine event budget ([budget.max_events], default 10M) was
+          hit — the deterministic watchdog for run-away protocols *)
+
+val termination_to_string : termination -> string
+(** ["completed"], ["timed-out"], ["budget-exhausted"]. *)
+
 type result = {
   scenario_name : string;
+  termination : termination;
+      (** how the run ended; everything below is graded over whatever had
+          happened by that point when not [Completed] *)
   live : bool;
   valid : bool;
   agreement : bool;
@@ -28,7 +44,7 @@ type result = {
           [~monitor:true] *)
 }
 
-val run : ?monitor:bool -> Scenario.t -> result
+val run : ?monitor:bool -> ?fail_fast:bool -> Scenario.t -> result
 (** Runs ΠAA for every honest party and installs the scenario's Byzantine
     behaviours for the rest; a chaos fault plan in the scenario is compiled
     into the delay policy and installed on the engine. With
@@ -37,7 +53,13 @@ val run : ?monitor:bool -> Scenario.t -> result
     parties that stay honest for the whole run (adaptive chaos targets are
     graded as corrupt). Never raises on liveness failures — they are
     reported in the result (lower-bound experiments rely on observing
-    them). *)
+    them).
+
+    The scenario's {!Scenario.budget} is enforced as a watchdog: event
+    budget exhaustion and wall-clock deadline are reported as the result's
+    [termination] ([Budget_exhausted] / [Timed_out]) instead of an
+    exception escaping [Engine.run]. [~fail_fast:true] restores the old
+    raising behaviour on event-budget exhaustion, for tests that pin it. *)
 
 val run_batch : ?domains:int -> ?monitor:bool -> Scenario.t list -> result list
 (** Runs the scenarios on a {!Pool} of [domains] worker domains (default

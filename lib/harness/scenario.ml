@@ -1,3 +1,7 @@
+type budget = { max_events : int option; wall_seconds : float option }
+
+let no_budget = { max_events = None; wall_seconds = None }
+
 type t = {
   name : string;
   cfg : Config.t;
@@ -10,11 +14,12 @@ type t = {
   mutant : Party.mutant option;
   isolate : bool;
   message_layer : [ `Interned | `Reference ];
+  budget : budget;
 }
 
 let make ?(name = "scenario") ?(seed = 1L) ?policy ?(sync_network = true)
     ?(corruptions = []) ?chaos ?mutant ?(isolate = false)
-    ?(message_layer = `Interned) ~cfg ~inputs () =
+    ?(message_layer = `Interned) ?(budget = no_budget) ~cfg ~inputs () =
   if List.length inputs <> cfg.Config.n then
     invalid_arg "Scenario.make: need one input per party";
   List.iter
@@ -36,6 +41,13 @@ let make ?(name = "scenario") ?(seed = 1L) ?policy ?(sync_network = true)
       match Fault_plan.validate ~cfg ~sync:sync_network ~existing:ids plan with
       | Ok () -> ()
       | Error msg -> invalid_arg ("Scenario.make: bad fault plan: " ^ msg)));
+  (match budget.max_events with
+  | Some e when e <= 0 -> invalid_arg "Scenario.make: budget.max_events <= 0"
+  | _ -> ());
+  (match budget.wall_seconds with
+  | Some w when not (w > 0.) ->
+      invalid_arg "Scenario.make: budget.wall_seconds <= 0"
+  | _ -> ());
   let policy =
     match policy with
     | Some p -> p
@@ -53,6 +65,7 @@ let make ?(name = "scenario") ?(seed = 1L) ?policy ?(sync_network = true)
     mutant;
     isolate;
     message_layer;
+    budget;
   }
 
 let replicate ~seeds t =

@@ -2,6 +2,21 @@
     corruptions and (optionally) a chaos fault plan. Running one is a pure
     function of this record. *)
 
+type budget = {
+  max_events : int option;
+      (** engine event budget for the run; [None] = the engine default
+          (10M) — but see {!Runner.run}: exhaustion is reported as a
+          structured [Budget_exhausted] outcome, not an exception *)
+  wall_seconds : float option;
+      (** wall-clock deadline for the run, polled cooperatively between
+          engine events; exceeding it yields a [Timed_out] outcome.
+          Wall-clock is inherently non-reproducible — use it as a hang
+          safety net, and [max_events] as the deterministic budget *)
+}
+
+val no_budget : budget
+(** Both fields [None]: the pre-watchdog behaviour. *)
+
 type t = {
   name : string;
   cfg : Config.t;
@@ -27,6 +42,9 @@ type t = {
       (** broadcast-layer implementation for honest parties (see
           {!Party.attach}); [`Reference] exists for differential testing
           against the seed message layer and the B6/B11 benches *)
+  budget : budget;
+      (** per-case watchdog budgets the runner enforces (see {!budget});
+          defaults to {!no_budget} *)
 }
 
 val make :
@@ -39,6 +57,7 @@ val make :
   ?mutant:Party.mutant ->
   ?isolate:bool ->
   ?message_layer:[ `Interned | `Reference ] ->
+  ?budget:budget ->
   cfg:Config.t ->
   inputs:Vec.t list ->
   unit ->

@@ -1,13 +1,16 @@
 (** Randomized chaos soak: thousands of seeded (scenario × fault-plan)
-    cases fanned across the {!Pool} domains, each watched by the online
-    {!Monitor}, with deterministic counterexample shrinking on any
-    violation.
+    cases fanned across supervised worker domains, each watched by the
+    online {!Monitor} and by a per-case watchdog (event budget + wall
+    deadline), with deterministic counterexample shrinking on any
+    violation and quarantine (plus shrunk repro) for any case the
+    watchdog had to abort or whose worker domain crashed.
 
-    Everything is a pure function of {!config}: the case grid is generated
-    up front from one RNG stream, results are joined back in submission
-    order and shrinking re-runs cases sequentially after the join — so the
-    produced report (and its JSON rendering) is byte-identical for any
-    [domains] count. *)
+    Everything in the report is a pure function of {!config}: the case
+    grid is generated up front from one RNG stream, per-case records are
+    aggregated in case-index order, and the journal replays records
+    byte-exactly — so the produced report (and its JSON rendering) is
+    byte-identical for any [domains] count {e and} for an
+    interrupted-and-resumed sweep vs an uninterrupted one. *)
 
 type config = {
   cases : int;  (** number of (scenario × fault-plan) cases *)
@@ -16,32 +19,101 @@ type config = {
   mutant : Party.mutant option;
       (** run a deliberately broken protocol variant instead of the real
           one — the monitor must then flag violations *)
-  max_shrink : int;  (** shrinker oracle budget per violating case *)
+  max_shrink : int;  (** shrinker oracle budget per abnormal case *)
+  case_events : int;
+      (** per-case engine event budget — the deterministic watchdog *)
+  case_wall : float option;
+      (** per-case wall-clock deadline in seconds ([None] = no deadline) —
+          the non-reproducible hang safety net *)
+  retries : int;
+      (** requeues allowed per case after a worker-domain crash before the
+          case is quarantined *)
+  stuck : int option;
+      (** test/CI hook: replace case [i]'s faults with an unbounded
+          spammer so the case livelocks and must be caught by the
+          watchdog *)
 }
 
 val default : config
-(** 500 cases, seed 7, 1 domain, real protocol, 200 shrink tries. *)
+(** 500 cases, seed 7, 1 domain, real protocol, 200 shrink tries, 10M
+    events + 300 s per case, 1 retry, no stuck case. *)
 
 val mutant_of_string : string -> (Party.mutant option, string) result
 (** ["none"], ["non-contracting"], ["premature-output"]. *)
 
 val mutant_to_string : Party.mutant option -> string
 
+(** How one case ended, as plain data (strings/ints/floats only, so a
+    record round-trips through the journal byte-exactly). *)
+type violating_detail = {
+  vd_invariants : string list;  (** violated invariant names *)
+  vd_total : int;
+  vd_first : string list;  (** up to 3 rendered violations *)
+  vd_shrunk : string list;  (** minimal reproducing plan, rendered *)
+  vd_tries : int;
+  vd_minimal : bool;
+}
+
+type quarantine_detail = {
+  qd_reason : string;
+      (** ["budget-exhausted(N events)"], ["timed-out(N events)"] or
+          ["crashed: <exn> (attempts=K)"] *)
+  qd_shrunk : string list;
+      (** minimal plan still preventing completion (unshrunk plan for
+          crashes — re-running a crasher under the supervisor is unsafe) *)
+  qd_tries : int;
+  qd_minimal : bool;
+}
+
+type case_status =
+  | Clean
+  | Violating of violating_detail
+  | Quarantined of quarantine_detail
+
+type case_record = {
+  cr_index : int;  (** position in the case grid *)
+  cr_name : string;
+  cr_seed : int64;
+  cr_sync : bool;
+  cr_checks : int;
+  cr_counts : int list;  (** aligned with [Monitor.all_invariants] *)
+  cr_missing : int;
+  cr_pfail : int;
+  cr_diameter : float;
+  cr_eps : float;
+  cr_plan : string list;  (** the sampled chaos plan, rendered *)
+  cr_status : case_status;
+}
+
 type violating_case = {
   vc_name : string;
   vc_seed : int64;  (** the case's scenario seed *)
   vc_sync : bool;
-  vc_invariants : string list;  (** violated invariant names *)
-  vc_violations : Monitor.violation list;
-  vc_plan : Fault_plan.t;  (** the sampled plan *)
-  vc_shrunk : Fault_shrink.outcome;  (** minimal reproducing plan *)
+  vc_invariants : string list;
+  vc_violations : int;
+  vc_first : string list;
+  vc_plan : string list;
+  vc_shrunk_plan : string list;
+  vc_shrink_tries : int;
+  vc_shrink_minimal : bool;
+}
+
+type quarantined_case = {
+  qc_name : string;
+  qc_seed : int64;
+  qc_sync : bool;
+  qc_reason : string;
+  qc_plan : string list;
+  qc_shrunk_plan : string list;
+  qc_shrink_tries : int;
+  qc_shrink_minimal : bool;
 }
 
 type outcome = {
   total : int;
   sync_cases : int;
   async_cases : int;
-  checks : int;  (** monitor invariant evaluations across all cases *)
+  checks : int;  (** monitor invariant evaluations across graded cases *)
   counts : (string * int) list;  (** per-invariant violation totals *)
   violations_total : int;
   missing_outputs : int;  (** graded-honest parties that never output *)
@@ -50,21 +122,63 @@ type outcome = {
   worst_diameter_eps : float;
   worst_diameter_case : string;
   violating : violating_case list;
+  quarantined : quarantined_case list;
+      (** watchdogged or crash-killed cases: excluded from every aggregate
+          above (a truncated run's monitor tables are not trustworthy),
+          reported here with a shrunk repro instead *)
 }
 
 val build_scenarios : config -> Scenario.t list
 (** The seeded case grid: alternating sync/async network modes over several
     feasible configs at the paper's resilience bounds, random workloads,
     random static corruptions and a {!Fault_gen}-sampled chaos plan, all
-    within the mode's [ts]/[ta] budget. Scenarios run [isolate]d. *)
+    within the mode's [ts]/[ta] budget. Scenarios run [isolate]d and carry
+    the per-case {!Scenario.budget} from [case_events]/[case_wall]. The
+    [stuck] hook (if set) swaps that one case's faults for an unbounded
+    spammer {e after} all RNG draws, so the rest of the grid is
+    unchanged. *)
 
-val execute : config -> outcome
-(** Build, sweep ([Runner.run_batch ~monitor:true]), aggregate, and shrink
-    each violating case to a minimal reproducing plan. *)
+val journal_header : config -> string
+(** First line of a journal for [config] (schema ["maaa-soak-journal/1"]):
+    binds the journal to the sweep parameters that determine case
+    identity — everything except [domains], which is free to change
+    between interrupt and resume. *)
+
+val render_case : case_record -> string
+(** One journal line: TAB-separated, percent-encoded strings, hex floats,
+    trailing ["."] sentinel (so a SIGKILL-truncated line is detectably
+    incomplete). *)
+
+val parse_case : string -> case_record
+(** Inverse of {!render_case}. @raise Bad_line (private) on malformed
+    input — callers use {!load_journal}, which skips bad lines. *)
+
+val load_journal :
+  header:string -> string -> (case_record list, string) result
+(** Reads a journal written for [header]'s configuration. [Error] when the
+    file is missing, empty, or was written by a different configuration;
+    malformed (e.g. kill-truncated) case lines are silently dropped — those
+    cases simply re-run. *)
+
+val execute : ?journal:string -> ?resume:bool -> config -> outcome
+(** Build the grid, run every case not already recorded, aggregate.
+
+    Each case runs inside a {!Pool.Supervised} worker under its watchdog;
+    a case the watchdog stops is quarantined with a shrunk repro (oracle:
+    the sub-plan still prevents completion), a case whose worker crashes
+    is requeued up to [retries] times and then quarantined unshrunk.
+
+    With [~journal:path], completed case records are appended (and
+    flushed) to [path] as they finish; with [~resume:true] the journal is
+    first replayed and recorded cases are skipped, so an interrupted sweep
+    continues where it left off and produces the same {!outcome}.
+    @raise Invalid_argument on [cases <= 0], [domains <= 0],
+    [resume] without [journal], or a missing/mismatched resume journal. *)
 
 val to_json : config -> outcome -> string
-(** The [SOAK.json] document (schema ["maaa-soak/1"]; field list documented
+(** The [SOAK.json] document (schema ["maaa-soak/2"]; field list documented
     in the Makefile's soak help). Deterministic: contains no wall-clock
-    values and no [domains]-dependent data. *)
+    values and no [domains]-dependent data, and is byte-identical between
+    fresh and resumed sweeps. *)
 
 val pp : Format.formatter -> outcome -> unit

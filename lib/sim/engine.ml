@@ -16,6 +16,8 @@ type failure = { party : int; at : time; reason : string }
 
 type isolation = [ `Fail_fast | `Isolate ]
 
+type stop_reason = [ `Quiescent | `Past_until | `Event_budget | `Cancelled ]
+
 type 'msg trace_event =
   | Sent of { src : int; dst : int; at : time; deliver_at : time; msg : 'msg }
   | Delivered of { src : int; dst : int; at : time; msg : 'msg }
@@ -31,6 +33,7 @@ type 'msg t = {
   handlers : ('msg event -> unit) option array;
   mutable tracer : ('msg trace_event -> unit) option;
   mutable isolation : isolation;
+  mutable stop_reason : stop_reason;
   mutable failures : failure list;  (* reverse chronological *)
   mutable now : time;
   mutable seq : int;
@@ -60,6 +63,7 @@ let create ?(seed = 0x5eedL) ?(size_of = fun _ -> 0) ~n ~policy () =
     handlers = Array.make n None;
     tracer = None;
     isolation = `Fail_fast;
+    stop_reason = `Quiescent;
     failures = [];
     now = 0;
     seq = 0;
@@ -86,6 +90,7 @@ let wrap_party t i f =
   | None -> ()
 
 let set_isolation t mode = t.isolation <- mode
+let stop_reason t = t.stop_reason
 let failures t = List.rev t.failures
 
 let push t ~at ~target ev =
@@ -115,17 +120,45 @@ let set_timer t ~party ~at ~tag =
 
 let quiescent t = Heap.Keyed.is_empty t.queue
 
-let run ?until ?(max_events = 10_000_000) t =
+(* [should_stop] is polled every [stop_poll_mask + 1] processed events, so
+   a wall-clock deadline closure costs one clock read per 64 events, not
+   per event. The flag is cooperative: a handler that never returns cannot
+   be interrupted — only event-generating livelock (which [max_events]
+   bounds) and between-event deadlines are catchable. *)
+let stop_poll_mask = 63
+
+let run ?until ?(max_events = 10_000_000) ?(on_budget = `Raise) ?should_stop t
+    =
+  t.stop_reason <- `Quiescent;
   let continue = ref true in
   while !continue do
-    if Heap.Keyed.is_empty t.queue then continue := false
+    if Heap.Keyed.is_empty t.queue then begin
+      t.stop_reason <- `Quiescent;
+      continue := false
+    end
+    else if
+      match should_stop with
+      | Some f when t.events_processed land stop_poll_mask = 0 -> f ()
+      | _ -> false
+    then begin
+      t.stop_reason <- `Cancelled;
+      continue := false
+    end
     else
       let at = Heap.Keyed.min_key_exn t.queue lsr seq_bits in
-      if match until with Some u -> at > u | None -> false then
+      if match until with Some u -> at > u | None -> false then begin
+        t.stop_reason <- `Past_until;
         continue := false
+      end
+      else if t.events_processed >= max_events then begin
+        match on_budget with
+        | `Raise ->
+            failwith "Engine.run: max_events exceeded (run-away protocol?)"
+        | `Stop ->
+            t.stop_reason <- `Event_budget;
+            continue := false
+      end
       else begin
-        if t.events_processed >= max_events then
-          failwith "Engine.run: max_events exceeded (run-away protocol?)";
         let target = Heap.Keyed.min_aux_exn t.queue in
         let ev = Heap.Keyed.pop_exn t.queue in
         t.now <- max t.now at;

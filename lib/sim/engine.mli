@@ -91,12 +91,34 @@ val set_timer : 'msg t -> party:int -> at:time -> tag:int -> unit
     present). Timers fire after message deliveries scheduled at the same
     tick that were enqueued earlier. *)
 
-val run : ?until:time -> ?max_events:int -> 'msg t -> unit
+val run :
+  ?until:time ->
+  ?max_events:int ->
+  ?on_budget:[ `Raise | `Stop ] ->
+  ?should_stop:(unit -> bool) ->
+  'msg t ->
+  unit
 (** Processes events in (time, sequence) order until the queue is empty,
     [until] is passed, or exactly [max_events] events have fired (default
-    [10_000_000]). Attempting to process event [max_events + 1] raises
-    [Failure] {e before} popping it, so neither the clock nor the event
-    counter move past the budget — it indicates a run-away protocol. *)
+    [10_000_000]). Attempting to process event [max_events + 1] under the
+    default [~on_budget:`Raise] raises [Failure] {e before} popping it, so
+    neither the clock nor the event counter move past the budget — it
+    indicates a run-away protocol. Under [~on_budget:`Stop] the run
+    instead returns normally with {!stop_reason} [= `Event_budget] (the
+    harness watchdog path: a structured outcome, never a bare exception).
+
+    [should_stop] is a cooperative cancellation flag, polled between
+    events once every 64 processed events (so a wall-clock deadline
+    closure is cheap); when it returns [true] the run returns with
+    {!stop_reason} [= `Cancelled], leaving the queue intact. It cannot
+    interrupt a handler that never returns. *)
+
+type stop_reason = [ `Quiescent | `Past_until | `Event_budget | `Cancelled ]
+
+val stop_reason : 'msg t -> stop_reason
+(** Why the {e last} {!run} returned: [`Quiescent] (queue drained — also
+    the value before any run), [`Past_until], [`Event_budget] (only under
+    [~on_budget:`Stop]) or [`Cancelled] (via [should_stop]). *)
 
 val quiescent : 'msg t -> bool
 (** No pending events. *)

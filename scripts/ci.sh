@@ -22,8 +22,33 @@ grep -q 'E9' _build/EXP_smoke.txt
 echo "== chaos soak smoke (2 worker domains) =="
 # exits 1 on any monitor violation — a real-protocol soak must be clean
 dune exec bin/soak_main.exe -- --smoke --domains 2 --out _build/SOAK_smoke.json
-grep -q '"schema": "maaa-soak/1"' _build/SOAK_smoke.json
+grep -q '"schema": "maaa-soak/2"' _build/SOAK_smoke.json
 grep -q '"violations_total": 0' _build/SOAK_smoke.json
+grep -q '"quarantined": 0' _build/SOAK_smoke.json
+
+echo "== soak watchdog smoke (injected stuck case) =="
+# case 2 is replaced by an unbounded spammer: the per-case event budget
+# must quarantine exactly that case (exit 0 — quarantine is not a
+# violation) while the rest of the sweep grades clean
+dune exec bin/soak_main.exe -- --cases 6 --seed 7 --domains 2 \
+  --inject-stuck 2 --case-events 300000 --out _build/SOAK_stuck.json
+grep -q '"quarantined": 1' _build/SOAK_stuck.json
+grep -q '"reason": "budget-exhausted' _build/SOAK_stuck.json
+grep -q '"violations_total": 0' _build/SOAK_stuck.json
+
+echo "== soak CLI validation (one-line errors, exit 2) =="
+for bad in "--cases 0" "--cases x" "--domains 0" "--seed banana" \
+    "--mutant bogus" "--wall -1" "--resume" "--inject-stuck 99 --cases 5"; do
+  rc=0
+  dune exec bin/soak_main.exe -- $bad --out /dev/null >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "ci: soak '$bad' should exit 2, got $rc" >&2
+    exit 1
+  fi
+done
+
+echo "== soak kill-and-resume =="
+sh scripts/soak_resume.sh
 
 echo "== bench smoke run =="
 dune exec bench/main.exe -- --smoke --json _build/BENCH_smoke.json

@@ -328,6 +328,7 @@ let test_soak_catches_mutants () =
     (fun (mutant, expected_invariant) ->
       let config =
         {
+          Soak.default with
           Soak.cases = 2;
           seed = 3L;
           domains = 1;
@@ -347,11 +348,11 @@ let test_soak_catches_mutants () =
       List.iter
         (fun vc ->
           Alcotest.(check bool) "shrink reached a fixpoint" true
-            vc.Soak.vc_shrunk.Fault_shrink.minimal;
+            vc.Soak.vc_shrink_minimal;
           (* the protocol itself is broken, so the minimal reproducing
              fault plan is the empty one *)
           Alcotest.(check (list string)) "shrunk to the empty plan" []
-            (Fault_plan.to_strings vc.Soak.vc_shrunk.Fault_shrink.plan))
+            vc.Soak.vc_shrunk_plan)
         o.Soak.violating)
     [
       (Party.Non_contracting_update, "validity");
@@ -374,6 +375,177 @@ let test_soak_scenarios_reproducible () =
     List.map fingerprint (Soak.build_scenarios { config with Soak.seed = 6L })
   in
   Alcotest.(check bool) "different seed, different grid" true (a <> c)
+
+(* --- Watchdog, journal and resume --- *)
+
+let test_runner_watchdog_structured () =
+  (* the per-case event budget lands as a structured termination, not an
+     exception — and ~fail_fast:true pins the old raising behaviour *)
+  let scen =
+    List.hd (Soak.build_scenarios { Soak.default with Soak.cases = 1; seed = 4L })
+  in
+  let tiny =
+    {
+      scen with
+      Scenario.budget = { Scenario.max_events = Some 50; wall_seconds = None };
+    }
+  in
+  let r = Runner.run tiny in
+  Alcotest.(check string)
+    "structured budget exhaustion" "budget-exhausted"
+    (Runner.termination_to_string r.Runner.termination);
+  Alcotest.(check int) "stopped exactly at the budget" 50
+    r.Runner.stats.Engine.events_processed;
+  Alcotest.check_raises "fail-fast pins the raise"
+    (Failure "Engine.run: max_events exceeded (run-away protocol?)")
+    (fun () -> ignore (Runner.run ~fail_fast:true tiny));
+  let full = Runner.run scen in
+  Alcotest.(check string)
+    "a normal case completes" "completed"
+    (Runner.termination_to_string full.Runner.termination)
+
+let roundtrip_record r =
+  Alcotest.(check bool) "journal line round-trips" true
+    (Soak.parse_case (Soak.render_case r) = r)
+
+let test_journal_roundtrip () =
+  let base =
+    {
+      Soak.cr_index = 3;
+      cr_name = "soak-0003";
+      cr_seed = -77L;
+      cr_sync = false;
+      cr_checks = 12345;
+      cr_counts = [ 0; 1; 2; 0; 5; 0 ];
+      cr_missing = 1;
+      cr_pfail = 2;
+      cr_diameter = 0.1 +. 0.2;  (* not exactly representable: %h must hold *)
+      cr_eps = 0.05;
+      cr_plan = [ "delay-spike [10,60) x6"; "odd \t%~\x1f chars\n" ];
+      cr_status = Soak.Clean;
+    }
+  in
+  roundtrip_record base;
+  roundtrip_record
+    {
+      base with
+      Soak.cr_status =
+        Soak.Violating
+          {
+            vd_invariants = [ "validity"; "agreement" ];
+            vd_total = 4;
+            vd_first = [ "[validity] party=1 t=9 output outside hull" ];
+            vd_shrunk = [];
+            vd_tries = 12;
+            vd_minimal = true;
+          };
+    };
+  roundtrip_record
+    {
+      base with
+      Soak.cr_plan = [];
+      cr_status =
+        Soak.Quarantined
+          {
+            qd_reason = "budget-exhausted(40000 events)";
+            qd_shrunk = [ "~" ];  (* the empty-list marker itself, escaped *)
+            qd_tries = 3;
+            qd_minimal = false;
+          };
+    }
+
+let test_soak_stuck_case_quarantined () =
+  (* case 1 is replaced by an unbounded spammer: the event-budget watchdog
+     must stop and quarantine it while the other cases grade normally *)
+  let config =
+    {
+      Soak.default with
+      Soak.cases = 4;
+      seed = 11L;
+      domains = 1;
+      case_events = 300_000;
+      max_shrink = 40;
+      stuck = Some 1;
+    }
+  in
+  let o = Soak.execute config in
+  Alcotest.(check int) "all cases accounted for" 4 o.Soak.total;
+  Alcotest.(check int) "one quarantined" 1 (List.length o.Soak.quarantined);
+  let qc = List.hd o.Soak.quarantined in
+  Alcotest.(check string) "the injected case" "soak-0001" qc.Soak.qc_name;
+  Alcotest.(check bool) "reason names the event budget" true
+    (String.length qc.Soak.qc_reason >= 16
+    && String.sub qc.Soak.qc_reason 0 16 = "budget-exhausted");
+  (* the stuck case carries no chaos plan, so the shrunk repro is the
+     empty plan — stuck-ness is attributed to the scenario itself *)
+  Alcotest.(check (list string)) "trivial minimal repro" [] qc.Soak.qc_shrunk_plan;
+  Alcotest.(check bool) "shrink converged" true qc.Soak.qc_shrink_minimal;
+  (* quarantine is not a violation, and the truncated run's monitor data
+     stays out of the aggregates *)
+  Alcotest.(check int) "no violations" 0 o.Soak.violations_total;
+  let clean = Soak.execute { config with Soak.stuck = None } in
+  Alcotest.(check int) "without injection nothing is quarantined" 0
+    (List.length clean.Soak.quarantined)
+
+let read_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !lines
+
+let test_soak_resume_byte_identical () =
+  let config = { Soak.default with Soak.cases = 6; seed = 9L; domains = 1 } in
+  let tmp = Filename.temp_file "soak" ".journal" in
+  let json_full = Soak.to_json config (Soak.execute ~journal:tmp config) in
+  (* simulate a SIGKILL after 3 cases: header, 3 complete records, and a
+     torn half-record with no sentinel and no trailing newline *)
+  (match read_lines tmp with
+  | header :: c0 :: c1 :: c2 :: c3 :: _ ->
+      let oc = open_out tmp in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        [ header; c0; c1; c2 ];
+      output_string oc (String.sub c3 0 (String.length c3 - 4));
+      close_out oc
+  | _ -> Alcotest.fail "journal shorter than expected");
+  (* resume on a different domain count: the torn record re-runs, the
+     rest replay from the journal, and the report is byte-identical *)
+  let o2 = Soak.execute ~journal:tmp ~resume:true { config with Soak.domains = 4 } in
+  Alcotest.(check string) "resumed = uninterrupted" json_full
+    (Soak.to_json config o2);
+  (* the journal is now complete: resuming again re-runs nothing (pure
+     replay) and still reproduces the document *)
+  let o3 = Soak.execute ~journal:tmp ~resume:true config in
+  Alcotest.(check string) "pure replay = uninterrupted" json_full
+    (Soak.to_json config o3);
+  Sys.remove tmp
+
+let test_soak_resume_rejects_mismatch () =
+  let config = { Soak.default with Soak.cases = 2; seed = 21L; domains = 1 } in
+  let tmp = Filename.temp_file "soak" ".journal" in
+  ignore (Soak.execute ~journal:tmp config);
+  (* a journal from a different sweep configuration must be refused, not
+     silently replayed into the wrong report *)
+  (try
+     ignore (Soak.execute ~journal:tmp ~resume:true { config with Soak.seed = 22L });
+     Alcotest.fail "mismatched journal accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Soak.execute ~resume:true config);
+     Alcotest.fail "resume without a journal accepted"
+   with Invalid_argument _ -> ());
+  Sys.remove tmp;
+  (try
+     ignore (Soak.execute ~journal:tmp ~resume:true config);
+     Alcotest.fail "missing journal accepted"
+   with Invalid_argument _ -> ())
 
 let () =
   Alcotest.run "chaos"
@@ -419,5 +591,18 @@ let () =
             test_soak_catches_mutants;
           Alcotest.test_case "case grid reproducible" `Quick
             test_soak_scenarios_reproducible;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "runner watchdog structured" `Quick
+            test_runner_watchdog_structured;
+          Alcotest.test_case "journal line round-trip" `Quick
+            test_journal_roundtrip;
+          Alcotest.test_case "stuck case quarantined" `Slow
+            test_soak_stuck_case_quarantined;
+          Alcotest.test_case "kill + resume byte-identical" `Slow
+            test_soak_resume_byte_identical;
+          Alcotest.test_case "resume validation" `Slow
+            test_soak_resume_rejects_mismatch;
         ] );
     ]

@@ -103,6 +103,113 @@ let test_pool_contention_many_tiny_jobs () =
       let out = Pool.map pool (fun i -> i * 2) xs in
       Alcotest.(check (list int)) "map storm ordered" (List.map (fun i -> i * 2) xs) out)
 
+let test_with_pool_exception_cleanup () =
+  (* with_pool shuts the pool down even when the body raises: no leaked
+     domains, and the escaped pool handle is unusable *)
+  let captured = ref None in
+  (try
+     Pool.with_pool ~domains:2 (fun pool ->
+         captured := Some pool;
+         failwith "body blew up")
+   with Failure _ -> ());
+  match !captured with
+  | None -> Alcotest.fail "body never ran"
+  | Some pool ->
+      Alcotest.check_raises "pool shut down on the exception path"
+        (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+          Pool.submit pool (fun () -> ()))
+
+(* --- Supervised: worker-domain crash recovery --- *)
+
+let outcome_int =
+  Alcotest.testable
+    (fun ppf -> function
+      | Pool.Supervised.Done v -> Format.fprintf ppf "Done %d" v
+      | Pool.Supervised.Crashed { attempts; last_error } ->
+          Format.fprintf ppf "Crashed{attempts=%d; %s}" attempts last_error)
+    ( = )
+
+let test_supervised_clean_sweep () =
+  let xs = List.init 25 Fun.id in
+  let out = Pool.Supervised.map ~domains:3 (fun i -> i * i) xs in
+  Alcotest.(check (list outcome_int))
+    "all done, submission order"
+    (List.map (fun i -> Pool.Supervised.Done (i * i)) xs)
+    out;
+  Alcotest.(check int) "no leaked domains" 0 (Pool.Supervised.active_domains ())
+
+let test_supervised_empty_and_oversized () =
+  Alcotest.(check (list outcome_int))
+    "empty" [] (Pool.Supervised.map ~domains:4 (fun i -> i) []);
+  (* more domains than items: the pool clamps, completes, and joins every
+     spawned domain — independent of Domain.recommended_domain_count *)
+  let out = Pool.Supervised.map ~domains:16 (fun i -> i + 1) [ 10; 20; 30 ] in
+  Alcotest.(check (list outcome_int))
+    "clamped pool" (List.map (fun v -> Pool.Supervised.Done v) [ 11; 21; 31 ])
+    out;
+  Alcotest.(check int) "no leaked domains" 0 (Pool.Supervised.active_domains ())
+
+let test_supervised_fatal_crash_is_bounded () =
+  (* item 5 kills its worker with an Out_of_memory-style fatal every time:
+     it must be retried max_retries times, then reported Crashed — and the
+     rest of the sweep must complete on replacement domains *)
+  let job i = if i = 5 then raise Out_of_memory else i * 10 in
+  let out =
+    Pool.Supervised.map ~domains:2 ~max_retries:2 job (List.init 12 Fun.id)
+  in
+  List.iteri
+    (fun i o ->
+      match (i, o) with
+      | 5, Pool.Supervised.Crashed { attempts; last_error } ->
+          Alcotest.(check int) "retry budget exhausted" 3 attempts;
+          Alcotest.(check bool) "exception preserved" true
+            (String.length last_error > 0)
+      | 5, Pool.Supervised.Done _ -> Alcotest.fail "crasher reported Done"
+      | _, Pool.Supervised.Done v -> Alcotest.(check int) "sibling result" (i * 10) v
+      | _, Pool.Supervised.Crashed _ ->
+          Alcotest.failf "healthy item %d reported Crashed" i)
+    out;
+  Alcotest.(check int) "every domain joined" 0 (Pool.Supervised.active_domains ())
+
+let test_supervised_transient_crash_retries () =
+  (* first attempt dies, the requeued attempt succeeds: the item must come
+     back Done with no Crashed report *)
+  let first = Atomic.make true in
+  let job i =
+    if i = 2 && Atomic.exchange first false then failwith "transient"
+    else i
+  in
+  let out = Pool.Supervised.map ~domains:2 ~max_retries:1 job (List.init 6 Fun.id) in
+  Alcotest.(check (list outcome_int))
+    "transient crash recovered"
+    (List.map (fun i -> Pool.Supervised.Done i) (List.init 6 Fun.id))
+    out;
+  Alcotest.(check int) "no leaked domains" 0 (Pool.Supervised.active_domains ())
+
+let test_supervised_on_done_once_per_item () =
+  (* on_done runs in the calling domain, exactly once per item, crash or
+     not — the journaling hook's contract *)
+  let n = 10 in
+  let seen = Array.make n 0 in
+  let caller = Domain.self () in
+  let job i = if i = 4 then raise Stack_overflow else i in
+  let out =
+    Pool.Supervised.map ~domains:3 ~max_retries:0
+      ~on_done:(fun i _ ->
+        Alcotest.(check bool) "on_done in the calling domain" true
+          (Domain.self () = caller);
+        seen.(i) <- seen.(i) + 1)
+      job (List.init n Fun.id)
+  in
+  Array.iteri
+    (fun i c -> Alcotest.(check int) (Printf.sprintf "item %d seen once" i) 1 c)
+    seen;
+  (match List.nth out 4 with
+  | Pool.Supervised.Crashed { attempts; _ } ->
+      Alcotest.(check int) "max_retries=0: one attempt" 1 attempts
+  | Pool.Supervised.Done _ -> Alcotest.fail "crasher reported Done");
+  Alcotest.(check int) "no leaked domains" 0 (Pool.Supervised.active_domains ())
+
 (* --- Runner.run_batch: bit-identical parallel replay --- *)
 
 (* A grid of scenarios over D in 1..3, sync/async delay policies and two
@@ -206,6 +313,20 @@ let () =
             test_map_chunked_exception_isolation;
           Alcotest.test_case "contention: tiny-job storm" `Quick
             test_pool_contention_many_tiny_jobs;
+          Alcotest.test_case "with_pool exception cleanup" `Quick
+            test_with_pool_exception_cleanup;
+        ] );
+      ( "supervised",
+        [
+          Alcotest.test_case "clean sweep" `Quick test_supervised_clean_sweep;
+          Alcotest.test_case "empty + oversized pool" `Quick
+            test_supervised_empty_and_oversized;
+          Alcotest.test_case "fatal crash bounded + quarantined" `Quick
+            test_supervised_fatal_crash_is_bounded;
+          Alcotest.test_case "transient crash retried to Done" `Quick
+            test_supervised_transient_crash_retries;
+          Alcotest.test_case "on_done once per item, calling domain" `Quick
+            test_supervised_on_done_once_per_item;
         ] );
       ( "run_batch",
         [

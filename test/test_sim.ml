@@ -186,6 +186,50 @@ let test_engine_max_events_exact () =
     s.Engine.events_processed;
   Alcotest.(check int) "clock not past the budgeted events" 5 s.Engine.final_time
 
+let test_engine_budget_stop () =
+  (* ~on_budget:`Stop turns budget exhaustion into a structured stop
+     instead of an exception, at exactly the same point, and the engine
+     stays resumable *)
+  let engine = Engine.create ~n:1 ~policy:Network.instant () in
+  Engine.set_party engine 0 (fun _ -> ());
+  for i = 1 to 8 do
+    Engine.set_timer engine ~party:0 ~at:i ~tag:i
+  done;
+  Engine.run ~max_events:5 ~on_budget:`Stop engine;
+  Alcotest.(check bool) "stopped on the budget" true
+    (Engine.stop_reason engine = `Event_budget);
+  Alcotest.(check int) "counter at the budget" 5
+    (Engine.stats engine).Engine.events_processed;
+  Engine.run engine;
+  Alcotest.(check bool) "resumed to quiescence" true
+    (Engine.stop_reason engine = `Quiescent);
+  Alcotest.(check int) "rest processed" 8
+    (Engine.stats engine).Engine.events_processed
+
+let test_engine_cancellation () =
+  (* ?should_stop is polled every [stop_poll_mask + 1] events; a true
+     verdict unwinds the run cleanly with stop_reason `Cancelled *)
+  let engine = Engine.create ~n:1 ~policy:Network.instant () in
+  Engine.set_party engine 0 (fun _ -> ());
+  for i = 1 to 200 do
+    Engine.set_timer engine ~party:0 ~at:i ~tag:i
+  done;
+  let polls = ref 0 in
+  Engine.run
+    ~should_stop:(fun () ->
+      incr polls;
+      (Engine.stats engine).Engine.events_processed >= 64)
+    engine;
+  Alcotest.(check bool) "cancelled" true (Engine.stop_reason engine = `Cancelled);
+  Alcotest.(check int) "stopped at the first poll past the flag" 64
+    (Engine.stats engine).Engine.events_processed;
+  Alcotest.(check bool) "polling is sparse, not per-event" true (!polls <= 3);
+  (* cancellation leaves the queue intact: a later run drains it *)
+  Engine.run engine;
+  Alcotest.(check int) "drained after cancellation" 200
+    (Engine.stats engine).Engine.events_processed;
+  Alcotest.(check bool) "quiescent" true (Engine.stop_reason engine = `Quiescent)
+
 let test_engine_determinism () =
   let run_once () =
     let engine =
@@ -360,6 +404,10 @@ let () =
           Alcotest.test_case "until" `Quick test_engine_until;
           Alcotest.test_case "max_events exact" `Quick
             test_engine_max_events_exact;
+          Alcotest.test_case "budget stop (structured)" `Quick
+            test_engine_budget_stop;
+          Alcotest.test_case "cooperative cancellation" `Quick
+            test_engine_cancellation;
           Alcotest.test_case "determinism" `Quick test_engine_determinism;
           Alcotest.test_case "tracer" `Quick test_engine_tracer;
           Alcotest.test_case "fail fast default" `Quick
