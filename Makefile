@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json ci par-check soak soak-smoke soak-resume clean
+.PHONY: all build test bench bench-json ci par-check soak soak-smoke soak-resume msgs-check clean
 
 all: build
 
@@ -12,8 +12,11 @@ bench:
 	dune exec bench/main.exe
 
 # Full-quota run that refreshes the checked-in perf-trajectory file.
+# Quota 1 s: the slowest row (B5 seed one-shot, ~0.9 s/run) needs it to
+# get enough samples for a clean OLS fit — ci.sh gates r^2 >= 0.7 on the
+# committed file's derived-key rows.
 bench-json:
-	dune exec bench/main.exe -- --json BENCH_lp.json
+	dune exec bench/main.exe -- --quota 1 --json BENCH_lp.json
 
 # Build + tests + a tiny-quota bench smoke run (same as scripts/ci.sh).
 ci:
@@ -59,6 +62,14 @@ soak-smoke:
 # different --domains count, and require the byte-identical SOAK.json.
 soak-resume:
 	sh scripts/soak_resume.sh
+
+# Exact per-class message-count check on one pinned configuration
+# (n=8, ts=2, ta=1, D=2, lockstep, honest) across the reference rBC
+# stack (closed-form model), the batched message layer (pinned packet
+# counts, identical logical votes) and the EW quadratic protocol
+# (2n^2 per iteration). Deterministic; any drift fails.
+msgs-check:
+	dune exec bin/msgs_check.exe
 
 clean:
 	dune clean

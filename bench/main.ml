@@ -19,6 +19,9 @@
        bit-identical by construction)
    B11 message layer in isolation: intern hit/miss cost, rBC vote
        accounting and instance lookup, interned vs reference
+   B12 deterministic message-count sweeps (not timed — exact counts):
+       reference vs batched message layer, and the EW quadratic
+       protocol, out to n = 128
 
    Run with:  dune exec bench/main.exe
    Options:   --json FILE   also write machine-readable results (the
@@ -260,17 +263,24 @@ let b10_scenarios =
   in
   Scenario.replicate ~seeds:(List.init 8 (fun i -> Int64.of_int (i + 1))) base
 
+let host_domains = Domain.recommended_domain_count ()
+
 let b10_sweep =
   let batch ~domains () =
     ignore (Runner.run_batch ~domains b10_scenarios)
   in
+  (* On a single-core host the pool lines measure oversubscription noise,
+     not parallel speedup: skip them (their derived keys become null, and
+     the JSON header records the core count that explains why). *)
   Test.make_grouped ~name:"B10 sweep throughput (8 runs)"
-    [
-      Test.make ~name:"sequential (domains=1)"
-        (Staged.stage (batch ~domains:1));
-      Test.make ~name:"pool domains=2" (Staged.stage (batch ~domains:2));
-      Test.make ~name:"pool domains=4" (Staged.stage (batch ~domains:4));
-    ]
+    (Test.make ~name:"sequential (domains=1)" (Staged.stage (batch ~domains:1))
+     ::
+     (if host_domains >= 2 then
+        [
+          Test.make ~name:"pool domains=2" (Staged.stage (batch ~domains:2));
+          Test.make ~name:"pool domains=4" (Staged.stage (batch ~domains:4));
+        ]
+      else []))
 
 (* B11: the message layer in isolation — intern table hit/miss cost, and
    the rBC vote accounting fed a scripted message storm directly (no
@@ -324,42 +334,147 @@ let b11_instances impl () =
 let b11_message_layer =
   Test.make_grouped ~name:"B11 message layer"
     [
-      Test.make ~name:"intern hit (Pvec)"
+      (* One hit is single-digit nanoseconds — far below the clock's
+         noise floor, which is what produced r^2 ~ 0.3 rows (and x64,
+         ~140 ns, still fit at only ~0.56). 512 hits per iteration puts
+         the run at ~1 us, comfortably measurable. *)
+      Test.make ~name:"intern hit (Pvec) x512"
         (Staged.stage (fun () ->
-             ignore (Intern.intern b11_hit_tbl b11_hit_payload)));
+             for _ = 1 to 512 do
+               ignore (Intern.intern b11_hit_tbl b11_hit_payload)
+             done));
       Test.make ~name:"intern 64 misses + reset"
         (Staged.stage (fun () ->
              Intern.reset b11_miss_tbl;
              Array.iter
                (fun p -> ignore (Intern.intern b11_miss_tbl p))
                b11_miss_payloads));
-      Test.make ~name:"rbc vote storm n=16 interned"
-        (Staged.stage (b11_vote_storm `Interned));
-      Test.make ~name:"rbc vote storm n=16 reference"
-        (Staged.stage (b11_vote_storm `Reference));
-      Test.make ~name:"rbc 16 live instances interned"
-        (Staged.stage (b11_instances `Interned));
-      Test.make ~name:"rbc 16 live instances reference"
-        (Staged.stage (b11_instances `Reference));
+      (* x8 inner loops for the same reason as the intern-hit row: the
+         single-storm runs are 1-5 us and their OLS fits flutter under
+         machine noise. The derived keys are ratios, so the scaling
+         cancels. *)
+      Test.make ~name:"rbc vote storm n=16 interned x8"
+        (Staged.stage (fun () ->
+             for _ = 1 to 8 do
+               b11_vote_storm `Interned ()
+             done));
+      Test.make ~name:"rbc vote storm n=16 reference x8"
+        (Staged.stage (fun () ->
+             for _ = 1 to 8 do
+               b11_vote_storm `Reference ()
+             done));
+      Test.make ~name:"rbc 16 live instances interned x8"
+        (Staged.stage (fun () ->
+             for _ = 1 to 8 do
+               b11_instances `Interned ()
+             done));
+      Test.make ~name:"rbc 16 live instances reference x8"
+        (Staged.stage (fun () ->
+             for _ = 1 to 8 do
+               b11_instances `Reference ()
+             done));
     ]
+
+(* B12: message-count sweeps. Not a bechamel benchmark: every count is an
+   exact, deterministic function of the configuration (lockstep network,
+   honest parties), so each point is one run and the resulting rows are
+   identical under --smoke and under the full quota — CI can gate on them
+   directly. Inputs have a tiny spread so the estimated iteration count
+   (and the number of safe-area evaluations) stays flat across n; what is
+   being measured is the communication structure, not the workload. *)
+let b12_inputs ~d n =
+  List.init n (fun i ->
+      Vec.of_list (List.init d (fun c -> 0.1 *. float_of_int ((i + c) mod 2))))
+
+let b12_run ?message_layer ?protocol ~n () =
+  let cfg = Config.make_exn ~n ~ts:2 ~ta:1 ~d:2 ~eps:0.05 ~delta:10 in
+  let r =
+    Runner.run
+      (Scenario.make
+         ~name:(Printf.sprintf "b12-%d" n)
+         ~cfg ~inputs:(b12_inputs ~d:2 n) ?message_layer ?protocol
+         ~policy:(Network.lockstep ~delta:10) ())
+  in
+  assert (r.Runner.live && r.Runner.valid && r.Runner.agreement);
+  (r.Runner.stats.Engine.messages_sent, r.Runner.stats.Engine.bytes_sent)
+
+(* The reference path stops at n = 12 (Theta(n^3) packets make larger
+   points pointlessly slow); batched Pi_AA runs to n = 64 (the safe-area
+   subset count C(n, 2) bounds it) and EW — which trims only ta = 1 — out
+   to n = 128. *)
+let b12_sweeps () =
+  let sweep path ?message_layer ?protocol ns =
+    List.map
+      (fun n ->
+        let m, b = b12_run ?message_layer ?protocol ~n () in
+        (path, n, m, b))
+      ns
+  in
+  sweep "reference" [ 8; 12 ]
+  @ sweep "batched" ~message_layer:`Batched [ 8; 12; 16; 24; 32; 48; 64 ]
+  @ sweep "ew" ~protocol:`Ew [ 8; 16; 32; 64; 96; 128 ]
+
+(* Least-squares slope of log(messages) against log(n): the measured
+   communication-complexity exponent of one sweep path. *)
+let b12_exponent sweeps path =
+  let pts =
+    List.filter_map
+      (fun (p, n, m, _) ->
+        if p = path && m > 0 then
+          Some (log (float_of_int n), log (float_of_int m))
+        else None)
+      sweeps
+  in
+  match pts with
+  | [] | [ _ ] -> None
+  | _ ->
+      let k = float_of_int (List.length pts) in
+      let sx = List.fold_left (fun a (x, _) -> a +. x) 0. pts in
+      let sy = List.fold_left (fun a (_, y) -> a +. y) 0. pts in
+      let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. pts in
+      let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. pts in
+      Some (((k *. sxy) -. (sx *. sy)) /. ((k *. sxx) -. (sx *. sx)))
+
+let b12_msgs sweeps path n =
+  List.find_map
+    (fun (p, n', m, _) -> if p = path && n' = n then Some m else None)
+    sweeps
+
+let b12_max_n sweeps path =
+  List.fold_left
+    (fun acc (p, n, _, _) -> if p = path then max acc n else acc)
+    0 sweeps
 
 let tests =
   Test.make_grouped ~name:"maaa"
     [
-      b1_safe_area; b2_representations; b3_lp; b4_hull; b5_diameter;
+      b1_safe_area; b2_representations; b3_lp; b4_hull;
       b6_protocol; b7_rbc; b8_subsets; b9_problem; b10_sweep;
       b11_message_layer;
     ]
+
+(* B5's seed one-shot line runs ~1 s per sample: a 1 s quota admits one
+   sample and the OLS fit degenerates (r^2 null). Full runs give the B5
+   group a >= 6 s quota of its own so every committed derived-key row
+   clears ci.sh's fit-quality gate; smoke runs keep the tiny quota —
+   their r^2 is not gated. *)
+let tests_slow = Test.make_grouped ~name:"maaa" [ b5_diameter ]
 
 let benchmark ~quota () =
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 100) ()
+  let group ~quota tests =
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 100) ()
+    in
+    let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+    Analyze.all ols Instance.monotonic_clock raw
   in
-  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
-  Analyze.all ols Instance.monotonic_clock raw
+  let results = group ~quota tests in
+  let slow_quota = if quota >= 0.5 then Float.max quota 6.0 else quota in
+  Hashtbl.iter (Hashtbl.replace results) (group ~quota:slow_quota tests_slow);
+  results
 
 let pp_ns ppf v =
   if v >= 1e9 then Format.fprintf ppf "%8.3f s " (v /. 1e9)
@@ -395,11 +510,16 @@ let json_escape s =
 let json_float v =
   if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
 
-let write_json ~oc ~quota rows =
+let write_json ~oc ~quota ~sweeps rows =
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": \"maaa-bench/1\",\n";
+  out "  \"schema\": \"maaa-bench/2\",\n";
   out "  \"quota_seconds\": %s,\n" (json_float quota);
+  (* Host metadata: enough to interpret the timing rows (and the null
+     B10 pool keys on single-core machines) without guessing. *)
+  out "  \"ocaml_version\": \"%s\",\n" (json_escape Sys.ocaml_version);
+  out "  \"word_size\": %d,\n" Sys.word_size;
+  out "  \"recommended_domains\": %d,\n" host_domains;
   out "  \"unit\": \"ns/run\",\n";
   out "  \"results\": [\n";
   let n = List.length rows in
@@ -409,6 +529,15 @@ let write_json ~oc ~quota rows =
         (json_escape name) (json_float est) (json_float r2)
         (if i = n - 1 then "" else ","))
     rows;
+  out "  ],\n";
+  out "  \"sweeps\": [\n";
+  let ns = List.length sweeps in
+  List.iteri
+    (fun i (path, n, msgs, bytes) ->
+      out "    {\"path\": \"%s\", \"n\": %d, \"messages\": %d, \"bytes\": %d}%s\n"
+        (json_escape path) n msgs bytes
+        (if i = ns - 1 then "" else ","))
+    sweeps;
   out "  ],\n";
   let derived =
     [
@@ -446,14 +575,28 @@ let write_json ~oc ~quota rows =
         speedup rows
           ~baseline:"B7 one rBC instance n=7/reference msg layer"
           ~target:"B7 one rBC instance n=7/interned" );
+      ( "b12_reduction_batched_n12",
+        (match (b12_msgs sweeps "reference" 12, b12_msgs sweeps "batched" 12) with
+        | Some r, Some b when b > 0 -> Some (float_of_int r /. float_of_int b)
+        | _ -> None) );
+      ("b12_batched_exponent", b12_exponent sweeps "batched");
+      ("b12_ew_exponent", b12_exponent sweeps "ew");
+      ( "b12_max_n_batched",
+        match b12_max_n sweeps "batched" with
+        | 0 -> None
+        | n -> Some (float_of_int n) );
+      ( "b12_max_n_ew",
+        match b12_max_n sweeps "ew" with
+        | 0 -> None
+        | n -> Some (float_of_int n) );
       ( "b11_speedup_vote_storm",
         speedup rows
-          ~baseline:"B11 message layer/rbc vote storm n=16 reference"
-          ~target:"B11 message layer/rbc vote storm n=16 interned" );
+          ~baseline:"B11 message layer/rbc vote storm n=16 reference x8"
+          ~target:"B11 message layer/rbc vote storm n=16 interned x8" );
       ( "b11_speedup_instances",
         speedup rows
-          ~baseline:"B11 message layer/rbc 16 live instances reference"
-          ~target:"B11 message layer/rbc 16 live instances interned" );
+          ~baseline:"B11 message layer/rbc 16 live instances reference x8"
+          ~target:"B11 message layer/rbc 16 live instances interned x8" );
       ( "b10_speedup_2_domains_vs_sequential",
         speedup rows
           ~baseline:"B10 sweep throughput (8 runs)/sequential (domains=1)"
@@ -502,6 +645,18 @@ let () =
             exit 1)
       !json_path
   in
+  let sweeps = b12_sweeps () in
+  Format.printf "%-12s %6s %12s %12s@." "B12 sweep" "n" "messages" "bytes";
+  Format.printf "%s@." (String.make 46 '-');
+  List.iter
+    (fun (path, n, msgs, bytes) ->
+      Format.printf "%-12s %6d %12d %12d@." path n msgs bytes)
+    sweeps;
+  (match (b12_exponent sweeps "batched", b12_exponent sweeps "ew") with
+  | Some b, Some e ->
+      Format.printf
+        "B12 fitted exponents: batched %.2f, EW %.2f (reference is ~3)@.@." b e
+  | _ -> ());
   let results = benchmark ~quota:!quota () in
   let rows =
     Hashtbl.fold
@@ -549,6 +704,6 @@ let () =
   match json_out with
   | None -> ()
   | Some (path, oc) ->
-      write_json ~oc ~quota:!quota rows;
+      write_json ~oc ~quota:!quota ~sweeps rows;
       close_out oc;
       Format.printf "wrote %s@." path

@@ -1,5 +1,7 @@
 (* Randomized chaos soak driver.
    Usage: soak.exe [--cases N] [--seed S] [--domains N] [--mutant M]
+                   [--message-layer interned|reference|batched]
+                   [--protocol maaa|ew]
                    [--out FILE] [--journal FILE] [--resume]
                    [--case-events N] [--wall SECONDS|none] [--retries N]
                    [--inject-stuck I] [--smoke]
@@ -56,6 +58,8 @@ let () =
   let case_wall = ref Soak.default.Soak.case_wall in
   let retries = ref Soak.default.Soak.retries in
   let stuck = ref None in
+  let layer = ref Soak.default.Soak.message_layer in
+  let protocol = ref Soak.default.Soak.protocol in
   let rec parse = function
     | [] -> ()
     | "--cases" :: v :: rest ->
@@ -103,6 +107,18 @@ let () =
     | "--inject-stuck" :: v :: rest ->
         stuck := Some (nonneg_int ~flag:"--inject-stuck" v);
         parse rest
+    | "--message-layer" :: v :: rest -> (
+        match Soak.layer_of_string v with
+        | Ok l ->
+            layer := l;
+            parse rest
+        | Error msg -> die "%s" msg)
+    | "--protocol" :: v :: rest -> (
+        match Soak.protocol_of_string v with
+        | Ok p ->
+            protocol := p;
+            parse rest
+        | Error msg -> die "%s" msg)
     | "--smoke" :: rest ->
         cases := 60;
         parse rest
@@ -110,14 +126,15 @@ let () =
       when List.mem flag
              [ "--cases"; "--seed"; "--domains"; "--mutant"; "--out";
                "--journal"; "--case-events"; "--wall"; "--retries";
-               "--inject-stuck" ] ->
+               "--inject-stuck"; "--message-layer"; "--protocol" ] ->
         die "%s expects a value" flag
     | flag :: _ ->
         die
           "unknown argument %S (usage: soak.exe [--cases N] [--seed S] \
-           [--domains N] [--mutant M] [--out FILE] [--journal FILE] \
-           [--resume] [--case-events N] [--wall SECONDS|none] [--retries N] \
-           [--inject-stuck I] [--smoke])"
+           [--domains N] [--mutant M] [--message-layer \
+           interned|reference|batched] [--protocol maaa|ew] [--out FILE] \
+           [--journal FILE] [--resume] [--case-events N] [--wall \
+           SECONDS|none] [--retries N] [--inject-stuck I] [--smoke])"
           flag
   in
   parse (List.tl (Array.to_list Sys.argv));
@@ -141,6 +158,8 @@ let () =
       case_wall = !case_wall;
       retries = !retries;
       stuck = !stuck;
+      message_layer = !layer;
+      protocol = !protocol;
     }
   in
   let outcome =

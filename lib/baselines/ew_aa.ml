@@ -1,0 +1,164 @@
+module IntSet = Set.Make (Int)
+module IntMap = Map.Make (Int)
+
+type callbacks = {
+  on_iteration : iter:int -> Vec.t -> unit;
+  on_output : iter:int -> Vec.t -> unit;
+}
+
+let no_callbacks =
+  { on_iteration = (fun ~iter:_ _ -> ()); on_output = (fun ~iter:_ _ -> ()) }
+
+type iter_state = {
+  mutable m : Pairset.t;
+  mutable witnesses : IntSet.t;
+  mutable pending : Pairset.t IntMap.t;
+  mutable seen_report : IntSet.t;
+  mutable sent_report : bool;
+}
+
+type t = {
+  n : int;
+  thr : int;
+  iters : int;
+  me : int;
+  engine : Message.t Engine.t;
+  cbs : callbacks;
+  states : (int, iter_state) Hashtbl.t;
+  history : (int, Vec.t) Hashtbl.t;
+  mutable iter : int;
+  mutable value : Vec.t option;
+  mutable output : Vec.t option;
+  mutable output_time : int option;
+}
+
+let output t = t.output
+let output_time t = t.output_time
+let output_iteration t = if t.output = None then None else Some t.iters
+let current_iteration t = t.iter
+
+let value_history t =
+  Hashtbl.fold (fun r v acc -> (r, v) :: acc) t.history []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let state t it =
+  match Hashtbl.find_opt t.states it with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          m = Pairset.empty;
+          witnesses = IntSet.empty;
+          pending = IntMap.empty;
+          seen_report = IntSet.empty;
+          sent_report = false;
+        }
+      in
+      Hashtbl.add t.states it s;
+      s
+
+let broadcast_value t it v =
+  Engine.broadcast t.engine ~src:t.me (Message.Ew_value { iter = it; value = v })
+
+let rec step t =
+  if t.output = None then begin
+    let it = t.iter in
+    let s = state t it in
+    if (not s.sent_report) && Pairset.cardinal s.m >= t.n - t.thr then begin
+      s.sent_report <- true;
+      Engine.broadcast t.engine ~src:t.me
+        (Message.Ew_report { iter = it; pairs = Pairset.bindings s.m })
+    end;
+    let validated, rest =
+      IntMap.partition
+        (fun _ report ->
+          Pairset.cardinal report >= t.n - t.thr && Pairset.subset report s.m)
+        s.pending
+    in
+    s.pending <- rest;
+    IntMap.iter
+      (fun from _ -> s.witnesses <- IntSet.add from s.witnesses)
+      validated;
+    if s.sent_report && IntSet.cardinal s.witnesses >= t.n - t.thr then begin
+      match Safe_area.new_value_arr ~t:t.thr (Pairset.values_arr s.m) with
+      | Some v ->
+          t.value <- Some v;
+          Hashtbl.replace t.history it v;
+          t.cbs.on_iteration ~iter:it v;
+          if it >= t.iters then begin
+            t.output <- Some v;
+            t.output_time <- Some (Engine.now t.engine);
+            t.cbs.on_output ~iter:it v
+          end
+          else begin
+            t.iter <- it + 1;
+            broadcast_value t t.iter v;
+            step t
+          end
+      | None ->
+          (* corruption count beyond the (D+2)·t < n envelope: stall
+             rather than crash, as in the rBC-based baseline *)
+          ()
+    end
+  end
+
+let valid_party t p = p >= 0 && p < t.n
+
+(* Channels are authenticated, so [src] plays the role the rBC origin
+   field plays in the cubic baseline: a party's first value per iteration
+   wins and duplicates (chaos-layer re-deliveries included) are no-ops. *)
+let handle t ev =
+  match ev with
+  | Engine.Deliver { src; msg = Message.Ew_value { iter = it; value = v } } ->
+      if valid_party t src && it >= 1 then begin
+        let s = state t it in
+        s.m <- Pairset.add ~party:src v s.m;
+        if it = t.iter then step t
+      end
+  | Engine.Deliver { src; msg = Message.Ew_report { iter = it; pairs } } ->
+      if valid_party t src && it >= 1 then begin
+        let s = state t it in
+        if not (IntSet.mem src s.seen_report) then begin
+          s.seen_report <- IntSet.add src s.seen_report;
+          let report =
+            List.fold_left
+              (fun acc (p, v) ->
+                if valid_party t p then Pairset.add ~party:p v acc else acc)
+              Pairset.empty pairs
+          in
+          s.pending <- IntMap.add src report s.pending;
+          if it = t.iter then step t
+        end
+      end
+  | Engine.Deliver _ | Engine.Timer _ -> ()
+
+let attach ?(callbacks = no_callbacks) ~n ~t:thr ~iters ~me engine =
+  let t =
+    {
+      n;
+      thr;
+      iters;
+      me;
+      engine;
+      cbs = callbacks;
+      states = Hashtbl.create 16;
+      history = Hashtbl.create 16;
+      iter = 1;
+      value = None;
+      output = None;
+      output_time = None;
+    }
+  in
+  Engine.set_party engine me (handle t);
+  t
+
+let start t v =
+  t.value <- Some v;
+  Hashtbl.replace t.history 0 v;
+  t.cbs.on_iteration ~iter:0 v;
+  if t.iters = 0 then begin
+    t.output <- Some v;
+    t.output_time <- Some (Engine.now t.engine);
+    t.cbs.on_output ~iter:0 v
+  end
+  else broadcast_value t 1 v

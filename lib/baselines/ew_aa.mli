@@ -1,0 +1,53 @@
+(** Quadratic-communication asynchronous approximate agreement in the
+    style of Erbes–Wattenhofer ("Asynchronous Approximate Agreement with
+    Quadratic Communication").
+
+    Structurally this is {!Async_aa} with the reliable-broadcast layer
+    removed: values and witness reports travel as {e direct} one-to-all
+    messages over the authenticated channels, so one iteration costs
+    [2·n] sends per party — Θ(n²) messages per iteration in total, versus
+    the Θ(n³) the Bracha-based protocols pay ([n] rBC instances × [n +
+    2n²] sends each). Each iteration: broadcast the current value
+    directly; wait for [n − t] values into [M]; broadcast [M] as a
+    report; mark report senders whose report is a ≥ [n − t]-subset of
+    one's own [M] as witnesses; on [n − t] witnesses trim [t] outliers
+    via the safe area and adopt the diameter-pair midpoint. A fixed
+    iteration count is supplied by the harness, as for {!Async_aa}.
+
+    Simplification relative to the paper: with rBC gone, nothing forces a
+    Byzantine sender to show the same value to everyone, and this module
+    adds no equivocation defence (the paper layers a lightweight
+    consistency mechanism for that). Within this repository's adversary
+    universe — whose behaviours never equivocate on EW message types —
+    the distinction is unobservable, and the monitor grades the protocol
+    under silent/crash/noise corruption; see DESIGN.md §7. *)
+
+type t
+
+type callbacks = {
+  on_iteration : iter:int -> Vec.t -> unit;
+      (** fired when [v_iter] is adopted; also with [iter = 0] for the
+          input *)
+  on_output : iter:int -> Vec.t -> unit;  (** fired once, on output *)
+}
+
+val no_callbacks : callbacks
+
+val attach :
+  ?callbacks:callbacks ->
+  n:int ->
+  t:int ->
+  iters:int ->
+  me:int ->
+  Message.t Engine.t ->
+  t
+(** Correct against [t < n/(D+2)] corruptions, any network. *)
+
+val start : t -> Vec.t -> unit
+val output : t -> Vec.t option
+val output_iteration : t -> int option
+(** The iteration the output was adopted at ([iters]), once output. *)
+
+val current_iteration : t -> int
+val value_history : t -> (int * Vec.t) list
+val output_time : t -> int option

@@ -25,6 +25,18 @@ type result = {
   monitor : Monitor.summary option;
 }
 
+(* Uniform read-side view over whichever protocol the scenario runs, so
+   the metrics below don't care whether a ΠAA [Party.t] or an EW
+   [Ew_aa.t] sits behind it. *)
+type attached = {
+  a_start : Vec.t -> unit;
+  a_output : unit -> Vec.t option;
+  a_output_iter : unit -> int option;
+  a_output_time : unit -> int option;
+  a_t_estimate : unit -> int option;
+  a_history : unit -> (int * Vec.t) list;
+}
+
 let run ?(monitor = false) ?(fail_fast = false) (s : Scenario.t) =
   let cfg = s.Scenario.cfg in
   let policy =
@@ -35,11 +47,11 @@ let run ?(monitor = false) ?(fail_fast = false) (s : Scenario.t) =
           ~base:s.policy plan
   in
   let engine =
-    Engine.create ~seed:s.seed ~size_of:Message.size_of ~n:cfg.Config.n
-      ~policy ()
+    Engine.create ~seed:s.seed ~size_of:Message.size_of
+      ~classes:Traffic.num_klasses ~classify:Traffic.classify_into
+      ~n:cfg.Config.n ~policy ()
   in
   if s.isolate then Engine.set_isolation engine `Isolate;
-  let traffic = Traffic.create () in
   let inputs = Array.of_list s.inputs in
   let honest_ids = Scenario.honest s in
   let graded = Scenario.graded_honest s in
@@ -48,45 +60,79 @@ let run ?(monitor = false) ?(fail_fast = false) (s : Scenario.t) =
     if monitor then Some (Monitor.create ~cfg ~honest:graded ~honest_inputs)
     else None
   in
+  (* Traffic accounting rides the engine's send path (see {!Traffic});
+     the tracer is needed only when a monitor wants the event stream. *)
   (match mon with
-  | None -> Traffic.attach traffic engine
-  | Some m ->
-      Engine.set_tracer engine (fun ev ->
-          Traffic.observe traffic ev;
-          Monitor.on_trace m ev));
+  | None -> ()
+  | Some m -> Engine.set_tracer engine (fun ev -> Monitor.on_trace m ev));
   (* Shared safe-area memo: scoped to this run (this engine), so pooled
      sweeps still share nothing across jobs. *)
   let safe_cache = Safe_cache.create () in
-  let parties =
-    List.map
-      (fun i ->
-        let callbacks =
-          match mon with
-          | Some m when List.mem i graded ->
-              {
-                Party.on_iteration =
-                  (fun ~iter v ->
-                    Monitor.on_iteration m ~party:i ~now:(Engine.now engine)
-                      ~iter v);
-                on_output =
-                  (fun ~iter v ->
-                    Monitor.on_output m ~party:i ~now:(Engine.now engine)
-                      ~iter v);
-              }
-          | _ -> Party.no_callbacks
-        in
-        ( i,
-          Party.attach ~callbacks ?mutant:s.mutant
-            ~message_layer:s.message_layer ~safe_cache ~cfg ~me:i engine ))
-      honest_ids
+  let monitor_hooks i =
+    match mon with
+    | Some m when List.mem i graded ->
+        Some
+          ( (fun ~iter v ->
+              Monitor.on_iteration m ~party:i ~now:(Engine.now engine) ~iter v),
+            fun ~iter v ->
+              Monitor.on_output m ~party:i ~now:(Engine.now engine) ~iter v )
+    | _ -> None
   in
+  let attach_maaa i =
+    let callbacks =
+      match monitor_hooks i with
+      | Some (on_iteration, on_output) -> { Party.on_iteration; on_output }
+      | None -> Party.no_callbacks
+    in
+    let p =
+      Party.attach ~callbacks ?mutant:s.mutant ~message_layer:s.message_layer
+        ~safe_cache ~cfg ~me:i engine
+    in
+    {
+      a_start = Party.start p;
+      a_output = (fun () -> Party.output p);
+      a_output_iter = (fun () -> Party.output_iteration p);
+      a_output_time = (fun () -> Party.output_time p);
+      a_t_estimate = (fun () -> Party.iteration_estimate p);
+      a_history = (fun () -> Party.value_history p);
+    }
+  in
+  (* EW runs at the asynchronous trim level [ta] (its whole point is
+     asynchronous resilience) and, like the rBC-based async baseline,
+     takes its iteration count from the harness's estimate of the honest
+     input spread — the same number our Πinit would arrive at. *)
+  let ew_iters =
+    lazy
+      (Baseline_runner.rounds_for ~eps:cfg.Config.eps ~inputs:honest_inputs)
+  in
+  let attach_ew i =
+    let callbacks =
+      match monitor_hooks i with
+      | Some (on_iteration, on_output) -> { Ew_aa.on_iteration; on_output }
+      | None -> Ew_aa.no_callbacks
+    in
+    let p =
+      Ew_aa.attach ~callbacks ~n:cfg.Config.n ~t:cfg.Config.ta
+        ~iters:(Lazy.force ew_iters) ~me:i engine
+    in
+    {
+      a_start = Ew_aa.start p;
+      a_output = (fun () -> Ew_aa.output p);
+      a_output_iter = (fun () -> Ew_aa.output_iteration p);
+      a_output_time = (fun () -> Ew_aa.output_time p);
+      a_t_estimate = (fun () -> None);
+      a_history = (fun () -> Ew_aa.value_history p);
+    }
+  in
+  let attach_one = match s.protocol with `Maaa -> attach_maaa | `Ew -> attach_ew in
+  let parties = List.map (fun i -> (i, attach_one i)) honest_ids in
   List.iter
     (fun (i, b) -> Behavior.install engine ~cfg ~me:i ~input:inputs.(i) b)
     s.corruptions;
   (match s.chaos with
   | None -> ()
   | Some plan -> Fault_plan.install engine ~cfg ~inputs plan);
-  List.iter (fun (i, p) -> Party.start p inputs.(i)) parties;
+  List.iter (fun (i, p) -> p.a_start inputs.(i)) parties;
   (* The per-case watchdog: the wall deadline is read lazily here (not at
      scenario build time) so pooled cases are charged only for their own
      runtime, and the engine polls it between events — a stuck case
@@ -114,7 +160,7 @@ let run ?(monitor = false) ?(fail_fast = false) (s : Scenario.t) =
   let parties = List.filter (fun (i, _) -> List.mem i graded) parties in
   let outputs =
     List.filter_map
-      (fun (i, p) -> Option.map (fun v -> (i, v)) (Party.output p))
+      (fun (i, p) -> Option.map (fun v -> (i, v)) (p.a_output ()))
       parties
   in
   let live = List.length outputs = List.length parties in
@@ -128,7 +174,7 @@ let run ?(monitor = false) ?(fail_fast = false) (s : Scenario.t) =
   let agreement = live && diameter <= cfg.Config.eps +. 1e-9 in
   let output_times =
     List.filter_map
-      (fun (i, p) -> Option.map (fun t -> (i, t)) (Party.output_time p))
+      (fun (i, p) -> Option.map (fun t -> (i, t)) (p.a_output_time ()))
       parties
   in
   let completion_rounds =
@@ -151,18 +197,18 @@ let run ?(monitor = false) ?(fail_fast = false) (s : Scenario.t) =
     outputs;
     output_iters =
       List.filter_map
-        (fun (i, p) -> Option.map (fun it -> (i, it)) (Party.output_iteration p))
+        (fun (i, p) -> Option.map (fun it -> (i, it)) (p.a_output_iter ()))
         parties;
     output_times;
     t_estimates =
       List.filter_map
-        (fun (i, p) -> Option.map (fun t -> (i, t)) (Party.iteration_estimate p))
+        (fun (i, p) -> Option.map (fun t -> (i, t)) (p.a_t_estimate ()))
         parties;
-    histories = List.map (fun (i, p) -> (i, Party.value_history p)) parties;
+    histories = List.map (fun (i, p) -> (i, p.a_history ())) parties;
     completion_rounds;
     stats = Engine.stats engine;
     honest_inputs;
-    traffic = Traffic.to_rows traffic;
+    traffic = Traffic.to_rows (Traffic.of_engine engine);
     monitor = Option.map Monitor.summary mon;
   }
 

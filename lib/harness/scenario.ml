@@ -13,13 +13,15 @@ type t = {
   chaos : Fault_plan.t option;
   mutant : Party.mutant option;
   isolate : bool;
-  message_layer : [ `Interned | `Reference ];
+  message_layer : [ `Interned | `Reference | `Batched ];
+  protocol : [ `Maaa | `Ew ];
   budget : budget;
 }
 
 let make ?(name = "scenario") ?(seed = 1L) ?policy ?(sync_network = true)
     ?(corruptions = []) ?chaos ?mutant ?(isolate = false)
-    ?(message_layer = `Interned) ?(budget = no_budget) ~cfg ~inputs () =
+    ?(message_layer = `Interned) ?(protocol = `Maaa) ?(budget = no_budget)
+    ~cfg ~inputs () =
   if List.length inputs <> cfg.Config.n then
     invalid_arg "Scenario.make: need one input per party";
   List.iter
@@ -65,6 +67,7 @@ let make ?(name = "scenario") ?(seed = 1L) ?policy ?(sync_network = true)
     mutant;
     isolate;
     message_layer;
+    protocol;
     budget;
   }
 

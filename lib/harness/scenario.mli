@@ -38,10 +38,18 @@ type t = {
       (** run the engine under [`Isolate]: a party-handler exception
           records a failure and crashes that party instead of aborting the
           whole run (and, in pooled sweeps, the whole batch) *)
-  message_layer : [ `Interned | `Reference ];
+  message_layer : [ `Interned | `Reference | `Batched ];
       (** broadcast-layer implementation for honest parties (see
           {!Party.attach}); [`Reference] exists for differential testing
-          against the seed message layer and the B6/B11 benches *)
+          against the seed message layer and the B6/B11 benches;
+          [`Batched] coalesces each party's per-tick rBC votes into one
+          combined packet per receiver (ignored under [`Ew], which has no
+          rBC traffic) *)
+  protocol : [ `Maaa | `Ew ];
+      (** which protocol the honest parties run: the paper's hybrid ΠAA
+          (default) or the Erbes–Wattenhofer quadratic-communication
+          asynchronous AA ({!Ew_aa}). Under [`Ew] the [mutant] and
+          [message_layer] fields are ignored. *)
   budget : budget;
       (** per-case watchdog budgets the runner enforces (see {!budget});
           defaults to {!no_budget} *)
@@ -56,7 +64,8 @@ val make :
   ?chaos:Fault_plan.t ->
   ?mutant:Party.mutant ->
   ?isolate:bool ->
-  ?message_layer:[ `Interned | `Reference ] ->
+  ?message_layer:[ `Interned | `Reference | `Batched ] ->
+  ?protocol:[ `Maaa | `Ew ] ->
   ?budget:budget ->
   cfg:Config.t ->
   inputs:Vec.t list ->

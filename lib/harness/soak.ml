@@ -8,6 +8,8 @@ type config = {
   case_wall : float option;
   retries : int;
   stuck : int option;
+  message_layer : [ `Interned | `Reference | `Batched ];
+  protocol : [ `Maaa | `Ew ];
 }
 
 let default =
@@ -21,6 +23,8 @@ let default =
     case_wall = Some 300.;
     retries = 1;
     stuck = None;
+    message_layer = `Interned;
+    protocol = `Maaa;
   }
 
 let mutant_to_string = function
@@ -37,6 +41,27 @@ let mutant_of_string = function
         (Printf.sprintf
            "unknown mutant %S (expected none|non-contracting|premature-output)"
            s)
+
+let layer_to_string = function
+  | `Interned -> "interned"
+  | `Reference -> "reference"
+  | `Batched -> "batched"
+
+let layer_of_string = function
+  | "interned" -> Ok `Interned
+  | "reference" -> Ok `Reference
+  | "batched" -> Ok `Batched
+  | s ->
+      Error
+        (Printf.sprintf
+           "unknown message layer %S (expected interned|reference|batched)" s)
+
+let protocol_to_string = function `Maaa -> "maaa" | `Ew -> "ew"
+
+let protocol_of_string = function
+  | "maaa" -> Ok `Maaa
+  | "ew" -> Ok `Ew
+  | s -> Error (Printf.sprintf "unknown protocol %S (expected maaa|ew)" s)
 
 (* -- Per-case records ------------------------------------------------
 
@@ -156,6 +181,12 @@ let build_case ~config rng i =
   let horizon = 40 * cfg.Config.delta in
   let inputs = sample_inputs rng cfg in
   let budget = if sync then cfg.Config.ts else cfg.Config.ta in
+  (* EW is correct only up to [ta] corruptions regardless of network
+     synchrony, so its sweep caps the static budget there. The default
+     ΠAA grid is untouched — same draws, same cases, same SOAK.json. *)
+  let budget =
+    match config.protocol with `Ew -> min budget cfg.Config.ta | `Maaa -> budget
+  in
   let n_static = Rng.int rng (budget + 1) in
   let ids = Array.init cfg.Config.n Fun.id in
   Rng.shuffle rng ids;
@@ -177,6 +208,19 @@ let build_case ~config rng i =
           wall_seconds = config.case_wall;
         }
       ~cfg ~inputs ()
+  in
+  (* Layer/protocol overrides ride on the built scenario rather than the
+     [Scenario.make] call so the RNG draw sequence for the default config
+     stays byte-identical to the committed SOAK.json. EW drops the chaos
+     plan: adaptive corruption grading is calibrated against ΠAA's
+     iteration structure, and EW's static-corruption coverage is the
+     property under test. *)
+  let scen =
+    match (config.message_layer, config.protocol) with
+    | `Interned, `Maaa -> scen
+    | layer, `Maaa -> { scen with Scenario.message_layer = layer }
+    | layer, `Ew ->
+        { scen with Scenario.message_layer = layer; protocol = `Ew; chaos = None }
   in
   (* Test/CI hook: replace case [i]'s corruptions with one unbounded
      spammer, a protocol livelock that generates events forever — the
@@ -376,7 +420,8 @@ let crashed_record ((idx, scen) : int * Scenario.t) ~attempts ~last_error =
 let journal_schema = "maaa-soak-journal/1"
 
 let journal_header config =
-  Printf.sprintf "%s\tseed=%Ld\tcases=%d\tmutant=%s\tevents=%d\twall=%s\tretries=%d\tstuck=%s\tmax_shrink=%d"
+  Printf.sprintf
+    "%s\tseed=%Ld\tcases=%d\tmutant=%s\tevents=%d\twall=%s\tretries=%d\tstuck=%s\tmax_shrink=%d\tlayer=%s\tprotocol=%s"
     journal_schema config.seed config.cases
     (mutant_to_string config.mutant)
     config.case_events
@@ -384,6 +429,8 @@ let journal_header config =
     config.retries
     (match config.stuck with None -> "none" | Some i -> string_of_int i)
     config.max_shrink
+    (layer_to_string config.message_layer)
+    (protocol_to_string config.protocol)
 
 let enc s =
   let b = Buffer.create (String.length s) in
@@ -736,6 +783,14 @@ let to_json config (o : outcome) =
   out "  \"schema\": \"maaa-soak/2\",\n";
   out "  \"seed\": %Ld,\n" config.seed;
   out "  \"mutant\": \"%s\",\n" (mutant_to_string config.mutant);
+  (* Emitted only when non-default so the committed SOAK.json (written
+     before these knobs existed) stays byte-stable under schema 2. *)
+  (match config.message_layer with
+  | `Interned -> ()
+  | l -> out "  \"message_layer\": \"%s\",\n" (layer_to_string l));
+  (match config.protocol with
+  | `Maaa -> ()
+  | p -> out "  \"protocol\": \"%s\",\n" (protocol_to_string p));
   out "  \"case_events\": %d,\n" config.case_events;
   out "  \"cases\": %d,\n" o.total;
   out "  \"sync_cases\": %d,\n" o.sync_cases;

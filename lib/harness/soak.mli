@@ -32,6 +32,15 @@ type config = {
       (** test/CI hook: replace case [i]'s faults with an unbounded
           spammer so the case livelocks and must be caught by the
           watchdog *)
+  message_layer : [ `Interned | `Reference | `Batched ];
+      (** rBC implementation + egress path every case's honest parties
+          use (see {!Scenario.t}); [`Interned] is the default grid *)
+  protocol : [ `Maaa | `Ew ];
+      (** [`Ew] soaks the quadratic-communication protocol instead of
+          ΠAA: the static corruption budget is capped at the case
+          config's [ta] (EW's resilience bound regardless of synchrony)
+          and chaos plans are dropped — static-corruption grading is the
+          property under test *)
 }
 
 val default : config
@@ -42,6 +51,17 @@ val mutant_of_string : string -> (Party.mutant option, string) result
 (** ["none"], ["non-contracting"], ["premature-output"]. *)
 
 val mutant_to_string : Party.mutant option -> string
+
+val layer_of_string :
+  string -> ([ `Interned | `Reference | `Batched ], string) result
+(** ["interned"], ["reference"], ["batched"]. *)
+
+val layer_to_string : [ `Interned | `Reference | `Batched ] -> string
+
+val protocol_of_string : string -> ([ `Maaa | `Ew ], string) result
+(** ["maaa"], ["ew"]. *)
+
+val protocol_to_string : [ `Maaa | `Ew ] -> string
 
 (** How one case ended, as plain data (strings/ints/floats only, so a
     record round-trips through the journal byte-exactly). *)

@@ -20,7 +20,7 @@ val run :
   ?seed:int64 ->
   ?policy:Engine.delay_policy ->
   ?silent:int list ->
-  ?message_layer:[ `Interned | `Reference ] ->
+  ?message_layer:[ `Interned | `Reference | `Batched ] ->
   cfg:Config.t ->
   inputs:Vec.t list ->
   unit ->

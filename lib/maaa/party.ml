@@ -18,7 +18,8 @@ type t = {
   me : int;
   mode : mode;
   mutant : mutant option;
-  message_layer : [ `Interned | `Reference ];
+  impl : [ `Interned | `Reference ];  (* rBC/oBC vote-table implementation *)
+  batch : Batch.t option;  (* egress buffer when the layer is [`Batched] *)
   intern : Intern.t;  (* one hash-consing table for all sub-protocols *)
   safe_cache : Safe_cache.t;  (* shared across the run's parties when the
                                  caller provides one (Maaa.run, Runner) *)
@@ -97,7 +98,7 @@ let rec join_iteration t it =
   t.iter_start <- t.now ();
   t.pending_value <- None;
   let obc =
-    Obc.create ~impl:t.message_layer ~intern:t.intern ~n:t.cfg.n ~ts:t.cfg.ts
+    Obc.create ~impl:t.impl ~intern:t.intern ~n:t.cfg.n ~ts:t.cfg.ts
       ~delta:t.cfg.delta ~iter:it
       {
         Obc.now = t.now;
@@ -194,15 +195,31 @@ let on_rbc_deliver t (id : Message.rbc_id) payload =
   | _ -> ()
 
 let create ?(callbacks = no_callbacks) ?(mode = Estimate) ?mutant
-    ?(message_layer = `Interned) ?safe_cache ~cfg ~me ~now ~send_all
-    ~set_timer () =
+    ?(message_layer = `Interned) ?register_flush ?safe_cache ~cfg ~me ~now
+    ~send_all ~set_timer () =
+  let impl =
+    match message_layer with
+    | `Batched -> `Interned  (* batching wraps the fast vote tables *)
+    | (`Interned | `Reference) as l -> l
+  in
+  let batch =
+    match message_layer with
+    | `Batched -> Some (Batch.create ~send_all)
+    | `Interned | `Reference -> None
+  in
+  (match (batch, register_flush) with
+  | Some b, Some reg -> reg (fun () -> Batch.flush b)
+  | Some _, None ->
+      invalid_arg "Party.create: `Batched needs an end-of-tick register_flush"
+  | None, _ -> ());
   let t =
     {
       cfg;
       me;
       mode;
       mutant;
-      message_layer;
+      impl;
+      batch;
       intern = Intern.create ();
       safe_cache =
         (match safe_cache with Some c -> c | None -> Safe_cache.create ());
@@ -228,11 +245,25 @@ let create ?(callbacks = no_callbacks) ?(mode = Estimate) ?mutant
       started = false;
     }
   in
+  (* With a batch buffer, every rBC vote the sub-protocols emit is
+     diverted into it; the buffer's end-of-tick flush re-broadcasts the
+     votes as one combined packet. Non-rBC traffic (oBC reports, witness
+     sets) keeps its per-packet path. *)
+  let rbc_send_all =
+    match batch with
+    | None -> send_all
+    | Some b -> (
+        function
+        | Message.Rbc (id, step, payload) -> Batch.add b id step payload
+        | m -> send_all m)
+  in
   t.rbc <-
     Some
-      (Rbc.create ~impl:message_layer ~intern:t.intern ~n:cfg.Config.n
-         ~t:cfg.Config.ts
-         { Rbc.send_all; deliver = (fun id payload -> on_rbc_deliver t id payload) });
+      (Rbc.create ~impl ~intern:t.intern ~n:cfg.Config.n ~t:cfg.Config.ts
+         {
+           Rbc.send_all = rbc_send_all;
+           deliver = (fun id payload -> on_rbc_deliver t id payload);
+         });
   t.init <-
     Some
       (Init_round.create ~safe_cache:t.safe_cache ~n:cfg.Config.n
@@ -286,6 +317,14 @@ let handle t (ev : Message.t Engine.event) =
           Rbc.on_message (rbc t) ~from:src id step payload;
           (* a delivery may have unblocked a time-gated guard *)
           if t.iter >= 1 then try_advance t
+      | Message.Rbc_batch entries ->
+          (* unpack in emission order; any layer accepts batched votes,
+             so mixed-layer runs interoperate *)
+          List.iter
+            (fun (id, step, payload) ->
+              Rbc.on_message (rbc t) ~from:src id step payload)
+            entries;
+          if t.iter >= 1 then try_advance t
       | Message.Obc_report { iter; pairs } ->
           if t.output = None then begin
             match Hashtbl.find_opt t.obcs iter with
@@ -298,12 +337,15 @@ let handle t (ev : Message.t Engine.event) =
           | Some i when not (Init_round.has_output i) ->
               Init_round.on_witness_set i ~from:src ws
           | _ -> ())
-      | Message.Sync_round _ | Message.Junk _ -> ())
+      | Message.Sync_round _ | Message.Ew_value _ | Message.Ew_report _
+      | Message.Junk _ ->
+          ())
 
 let attach ?callbacks ?mode ?mutant ?message_layer ?safe_cache ~cfg ~me engine
     =
   let t =
     create ?callbacks ?mode ?mutant ?message_layer ?safe_cache ~cfg ~me
+      ~register_flush:(fun f -> Engine.set_flusher engine me f)
       ~now:(fun () -> Engine.now engine)
       ~send_all:(fun msg -> Engine.broadcast engine ~src:me msg)
       ~set_timer:(fun ~at -> Engine.set_timer engine ~party:me ~at ~tag:0)

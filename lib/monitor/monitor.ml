@@ -105,6 +105,34 @@ let ok_party t p = p >= 0 && p < t.cfg.Config.n
 let ok_pairs t pairs =
   List.for_all (fun (p, v) -> ok_party t p && Vec.dim v = t.cfg.Config.d) pairs
 
+(* One rBC vote — standalone packet or batch entry, same rules. *)
+let malformed_rbc t id payload : string option =
+  if not (ok_party t id.Message.origin) then
+    Some (Printf.sprintf "rBC origin %d out of range" id.Message.origin)
+  else
+    let tag_ok =
+      match id.Message.tag with
+      | Message.Init_value | Message.Init_report -> true
+      | Message.Obc_value it
+      | Message.Async_value it
+      | Message.Async_report it ->
+          it >= 1
+      | Message.Halt it -> (
+          it >= 1 && match payload with Message.Pint j -> j = it | _ -> false)
+    in
+    if not tag_ok then Some "rBC tag/payload mismatch"
+    else
+      match payload with
+      | Message.Pvec v ->
+          if Vec.dim v = t.cfg.Config.d then None
+          else Some "rBC value dimension mismatch"
+      | Message.Ppairs pairs ->
+          if ok_pairs t pairs then None else Some "rBC pairs invalid"
+      | Message.Pint i -> if i >= 0 then None else Some "negative rBC int"
+      | Message.Pparties ps ->
+          if List.for_all (ok_party t) ps then None
+          else Some "rBC party list out of range"
+
 let malformed t (msg : Message.t) : string option =
   match msg with
   | Message.Junk _ -> Some "honest party sent junk"
@@ -120,33 +148,22 @@ let malformed t (msg : Message.t) : string option =
       else if Vec.dim value <> t.cfg.Config.d then
         Some "baseline value dimension mismatch"
       else None
-  | Message.Rbc (id, _step, payload) -> (
-      if not (ok_party t id.Message.origin) then
-        Some (Printf.sprintf "rBC origin %d out of range" id.Message.origin)
+  | Message.Ew_value { iter; value } ->
+      if iter < 1 then Some (Printf.sprintf "EW value for iteration %d" iter)
+      else if Vec.dim value <> t.cfg.Config.d then
+        Some "EW value dimension mismatch"
+      else None
+  | Message.Ew_report { iter; pairs } ->
+      if iter < 1 then Some (Printf.sprintf "EW report for iteration %d" iter)
+      else if not (ok_pairs t pairs) then Some "EW report with invalid pairs"
+      else None
+  | Message.Rbc_batch entries ->
+      if entries = [] then Some "empty rBC batch"
       else
-        let tag_ok =
-          match id.Message.tag with
-          | Message.Init_value | Message.Init_report -> true
-          | Message.Obc_value it
-          | Message.Async_value it
-          | Message.Async_report it ->
-              it >= 1
-          | Message.Halt it -> (
-              it >= 1
-              && match payload with Message.Pint j -> j = it | _ -> false)
-        in
-        if not tag_ok then Some "rBC tag/payload mismatch"
-        else
-          match payload with
-          | Message.Pvec v ->
-              if Vec.dim v = t.cfg.Config.d then None
-              else Some "rBC value dimension mismatch"
-          | Message.Ppairs pairs ->
-              if ok_pairs t pairs then None else Some "rBC pairs invalid"
-          | Message.Pint i -> if i >= 0 then None else Some "negative rBC int"
-          | Message.Pparties ps ->
-              if List.for_all (ok_party t) ps then None
-              else Some "rBC party list out of range")
+        List.find_map
+          (fun (id, _step, payload) -> malformed_rbc t id payload)
+          entries
+  | Message.Rbc (id, _step, payload) -> malformed_rbc t id payload
 
 let on_trace t (ev : Message.t Engine.trace_event) =
   match ev with

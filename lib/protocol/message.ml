@@ -18,9 +18,12 @@ type step = Init | Echo | Ready
 
 type t =
   | Rbc of rbc_id * step * payload
+  | Rbc_batch of (rbc_id * step * payload) list
   | Obc_report of { iter : int; pairs : (int * Vec.t) list }
   | Witness_set of int list
   | Sync_round of { round : int; value : Vec.t }
+  | Ew_value of { iter : int; value : Vec.t }
+  | Ew_report of { iter : int; pairs : (int * Vec.t) list }
   | Junk of int
 
 let size_of_payload = function
@@ -30,11 +33,20 @@ let size_of_payload = function
   | Pint _ -> 8
   | Pparties ps -> 4 * List.length ps
 
+(* A batch pays the 16-byte packet header once; each entry then costs an
+   8-byte (tag, origin, step) descriptor plus its payload — that
+   amortisation is the whole point of batching. *)
+let size_of_entry (_, _, p) = 8 + size_of_payload p
+
 let size_of = function
   | Rbc (_, _, p) -> 16 + size_of_payload p
+  | Rbc_batch entries ->
+      List.fold_left (fun acc e -> acc + size_of_entry e) 16 entries
   | Obc_report { pairs; _ } -> 16 + size_of_payload (Ppairs pairs)
   | Witness_set ps -> 16 + (4 * List.length ps)
   | Sync_round { value; _ } -> 16 + (8 * Vec.dim value)
+  | Ew_value { value; _ } -> 16 + (8 * Vec.dim value)
+  | Ew_report { pairs; _ } -> 16 + size_of_payload (Ppairs pairs)
   | Junk n -> 16 + n
 
 let pp_tag ppf = function
@@ -54,8 +66,13 @@ let pp ppf = function
   | Rbc (id, step, _) ->
       Format.fprintf ppf "rbc(%a from P%d, %a)" pp_tag id.tag id.origin
         pp_step step
+  | Rbc_batch entries ->
+      Format.fprintf ppf "rbc-batch(%d entries)" (List.length entries)
   | Obc_report { iter; pairs } ->
       Format.fprintf ppf "obc-report[%d] (%d pairs)" iter (List.length pairs)
   | Witness_set ps -> Format.fprintf ppf "witness-set (%d)" (List.length ps)
   | Sync_round { round; _ } -> Format.fprintf ppf "sync-round[%d]" round
+  | Ew_value { iter; _ } -> Format.fprintf ppf "ew-value[%d]" iter
+  | Ew_report { iter; pairs } ->
+      Format.fprintf ppf "ew-report[%d] (%d pairs)" iter (List.length pairs)
   | Junk n -> Format.fprintf ppf "junk(%d)" n

@@ -28,14 +28,27 @@ type step = Init | Echo | Ready
 
 type t =
   | Rbc of rbc_id * step * payload
+  | Rbc_batch of (rbc_id * step * payload) list
+      (** batched message layer: every rBC vote a party emits within one
+          delivery tick, across all concurrent instances, packed into one
+          packet per (sender, receiver). Entries are in emission order. *)
   | Obc_report of { iter : int; pairs : (int * Vec.t) list }
       (** ΠoBC's best-effort report (line 6 of the protocol) *)
   | Witness_set of int list  (** Πinit line 13: best-effort witness sets *)
   | Sync_round of { round : int; value : Vec.t }
       (** pure-synchronous baseline: round-[r] value exchange *)
+  | Ew_value of { iter : int; value : Vec.t }
+      (** Erbes–Wattenhofer quadratic AA: direct iteration-[iter] value *)
+  | Ew_report of { iter : int; pairs : (int * Vec.t) list }
+      (** Erbes–Wattenhofer quadratic AA: direct witness report *)
   | Junk of int  (** adversarial noise *)
 
 val size_of : t -> int
 (** Approximate serialised size in bytes, for traffic accounting. *)
+
+val size_of_entry : rbc_id * step * payload -> int
+(** Wire cost of one {!Rbc_batch} entry: an 8-byte (tag, origin, step)
+    descriptor plus the payload — the 16-byte packet header is paid once
+    per batch, which is the point of batching. *)
 
 val pp : Format.formatter -> t -> unit

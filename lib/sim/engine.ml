@@ -31,6 +31,12 @@ type 'msg t = {
   size_of : 'msg -> int;
   queue : 'msg event Heap.Keyed.t;  (* aux rider = delivery target *)
   handlers : ('msg event -> unit) option array;
+  flushers : (unit -> unit) option array;
+  classify : ('msg -> (int -> int -> unit) -> unit) option;
+  class_msgs : int array;
+  class_bytes : int array;
+  mutable has_flushers : bool;
+  mutable flushed_upto : time;  (* last tick whose flushers have run *)
   mutable tracer : ('msg trace_event -> unit) option;
   mutable isolation : isolation;
   mutable stop_reason : stop_reason;
@@ -52,8 +58,10 @@ type 'msg t = {
    lexicographic order. *)
 let seq_bits = 31
 
-let create ?(seed = 0x5eedL) ?(size_of = fun _ -> 0) ~n ~policy () =
+let create ?(seed = 0x5eedL) ?(size_of = fun _ -> 0) ?(classes = 0) ?classify
+    ~n ~policy () =
   if n <= 0 then invalid_arg "Engine.create: n must be positive";
+  if classes < 0 then invalid_arg "Engine.create: classes must be >= 0";
   {
     n;
     policy;
@@ -61,6 +69,12 @@ let create ?(seed = 0x5eedL) ?(size_of = fun _ -> 0) ~n ~policy () =
     size_of;
     queue = Heap.Keyed.create ();
     handlers = Array.make n None;
+    flushers = Array.make n None;
+    classify = (if classes = 0 then None else classify);
+    class_msgs = Array.make classes 0;
+    class_bytes = Array.make classes 0;
+    has_flushers = false;
+    flushed_upto = -1;
     tracer = None;
     isolation = `Fail_fast;
     stop_reason = `Quiescent;
@@ -81,7 +95,14 @@ let set_party t i handler =
   if i < 0 || i >= t.n then invalid_arg "Engine.set_party: bad party";
   t.handlers.(i) <- Some handler
 
-let clear_party t i = t.handlers.(i) <- None
+let clear_party t i =
+  t.handlers.(i) <- None;
+  t.flushers.(i) <- None
+
+let set_flusher t i f =
+  if i < 0 || i >= t.n then invalid_arg "Engine.set_flusher: bad party";
+  t.flushers.(i) <- Some f;
+  t.has_flushers <- true
 
 let wrap_party t i f =
   if i < 0 || i >= t.n then invalid_arg "Engine.wrap_party: bad party";
@@ -103,6 +124,12 @@ let send t ~src ~dst msg =
   let delay = max 1 (t.policy ~rng:t.rng ~now:t.now ~src ~dst) in
   t.messages_sent <- t.messages_sent + 1;
   t.bytes_sent <- t.bytes_sent + t.size_of msg;
+  (match t.classify with
+  | Some f ->
+      f msg (fun klass bytes ->
+          t.class_msgs.(klass) <- t.class_msgs.(klass) + 1;
+          t.class_bytes.(klass) <- t.class_bytes.(klass) + bytes)
+  | None -> ());
   let deliver_at = t.now + delay in
   (match t.tracer with
   | Some f -> f (Sent { src; dst; at = t.now; deliver_at; msg })
@@ -120,6 +147,23 @@ let set_timer t ~party ~at ~tag =
 
 let quiescent t = Heap.Keyed.is_empty t.queue
 
+(* End-of-tick flush: registered flushers run (in party-index order, for
+   determinism) at most once per tick value, exactly when the loop is
+   about to advance time past [t.now] — or when the queue drains. Flushed
+   sends have delay ≥ 1, so a flush can never re-trigger at the same
+   tick; returning [true] makes the caller re-examine the queue, because
+   flushing typically enqueues new events below the previously peeked
+   minimum. *)
+let flush_tick t =
+  if t.has_flushers && t.flushed_upto < t.now then begin
+    t.flushed_upto <- t.now;
+    for i = 0 to t.n - 1 do
+      match t.flushers.(i) with Some f -> f () | None -> ()
+    done;
+    true
+  end
+  else false
+
 (* [should_stop] is polled every [stop_poll_mask + 1] processed events, so
    a wall-clock deadline closure costs one clock read per 64 events, not
    per event. The flag is cooperative: a handler that never returns cannot
@@ -133,8 +177,10 @@ let run ?until ?(max_events = 10_000_000) ?(on_budget = `Raise) ?should_stop t
   let continue = ref true in
   while !continue do
     if Heap.Keyed.is_empty t.queue then begin
-      t.stop_reason <- `Quiescent;
-      continue := false
+      if not (flush_tick t) then begin
+        t.stop_reason <- `Quiescent;
+        continue := false
+      end
     end
     else if
       match should_stop with
@@ -146,7 +192,9 @@ let run ?until ?(max_events = 10_000_000) ?(on_budget = `Raise) ?should_stop t
     end
     else
       let at = Heap.Keyed.min_key_exn t.queue lsr seq_bits in
-      if match until with Some u -> at > u | None -> false then begin
+      if at > t.now && flush_tick t then ()
+        (* flushed the current tick: re-peek, the minimum may have moved *)
+      else if match until with Some u -> at > u | None -> false then begin
         t.stop_reason <- `Past_until;
         continue := false
       end
@@ -188,6 +236,7 @@ let run ?until ?(max_events = 10_000_000) ?(on_budget = `Raise) ?should_stop t
                     }
                   in
                   t.handlers.(target) <- None;
+                  t.flushers.(target) <- None;
                   t.failures <- f :: t.failures;
                   (match t.tracer with
                   | Some tr -> tr (Party_failed f)
@@ -205,6 +254,9 @@ let stats t =
     events_processed = t.events_processed;
     party_failures = List.length t.failures;
   }
+
+let class_messages t = Array.copy t.class_msgs
+let class_bytes t = Array.copy t.class_bytes
 
 let set_tracer t f = t.tracer <- Some f
 let clear_tracer t = t.tracer <- None

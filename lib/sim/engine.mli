@@ -41,11 +41,21 @@ type stats = {
 val create :
   ?seed:int64 ->
   ?size_of:('msg -> int) ->
+  ?classes:int ->
+  ?classify:('msg -> (int -> int -> unit) -> unit) ->
   n:int ->
   policy:delay_policy ->
   unit ->
   'msg t
-(** [size_of] is used only for byte accounting (default: 0 per message). *)
+(** [size_of] is used only for byte accounting (default: 0 per message).
+
+    [classes]/[classify] enable per-class accounting on the send path:
+    [classify msg emit] is invoked once per sent message and calls
+    [emit klass bytes] for each accounting entry it attributes to the
+    message — usually once, but a batched packet may emit once per
+    logical entry it carries, so the classifier is a fold rather than a
+    plain classification function. [klass] must lie in
+    [0 .. classes - 1]. Free when [classes = 0] (the default). *)
 
 val n : 'msg t -> int
 val now : 'msg t -> time
@@ -57,7 +67,18 @@ val set_party : 'msg t -> int -> ('msg event -> unit) -> unit
     handler silently discards its events (a crashed party). *)
 
 val clear_party : 'msg t -> int -> unit
-(** Removes the handler: the party crashes. *)
+(** Removes the handler (and any registered flusher): the party crashes. *)
+
+val set_flusher : 'msg t -> int -> (unit -> unit) -> unit
+(** Registers an end-of-tick flush hook for party [i]. All registered
+    flushers run, in party-index order, exactly once per tick value —
+    when the run loop is about to advance simulated time past the
+    current tick, and when the event queue drains. This is the seam the
+    batched message layer uses: a party buffers its outgoing votes
+    during a tick and emits one combined packet per receiver when its
+    flusher fires. Flushed sends are ordinary sends (delay ≥ 1), so a
+    flush can never cascade within the same tick. Cleared together with
+    the handler by {!clear_party} and by [`Isolate] failure capture. *)
 
 val wrap_party : 'msg t -> int -> (('msg event -> unit) -> 'msg event -> unit) -> unit
 (** [wrap_party t i f] replaces party [i]'s handler [h] with [f h] — the
@@ -124,6 +145,14 @@ val quiescent : 'msg t -> bool
 (** No pending events. *)
 
 val stats : 'msg t -> stats
+
+val class_messages : 'msg t -> int array
+(** Per-class sent-message counts (a copy, length [classes]), as
+    attributed by the [classify] hook given to {!create}. Empty when
+    accounting is off. *)
+
+val class_bytes : 'msg t -> int array
+(** Per-class sent-byte counts, same layout as {!class_messages}. *)
 
 type 'msg trace_event =
   | Sent of { src : int; dst : int; at : time; deliver_at : time; msg : 'msg }

@@ -26,6 +26,21 @@ grep -q '"schema": "maaa-soak/2"' _build/SOAK_smoke.json
 grep -q '"violations_total": 0' _build/SOAK_smoke.json
 grep -q '"quarantined": 0' _build/SOAK_smoke.json
 
+echo "== soak smoke: batched message layer =="
+# identical case grid, combined-packet egress: must grade just as clean
+dune exec bin/soak_main.exe -- --smoke --domains 2 --message-layer batched \
+  --out _build/SOAK_batched.json
+grep -q '"message_layer": "batched"' _build/SOAK_batched.json
+grep -q '"violations_total": 0' _build/SOAK_batched.json
+grep -q '"quarantined": 0' _build/SOAK_batched.json
+
+echo "== soak smoke: EW quadratic protocol =="
+dune exec bin/soak_main.exe -- --smoke --domains 2 --protocol ew \
+  --out _build/SOAK_ew.json
+grep -q '"protocol": "ew"' _build/SOAK_ew.json
+grep -q '"violations_total": 0' _build/SOAK_ew.json
+grep -q '"quarantined": 0' _build/SOAK_ew.json
+
 echo "== soak watchdog smoke (injected stuck case) =="
 # case 2 is replaced by an unbounded spammer: the per-case event budget
 # must quarantine exactly that case (exit 0 — quarantine is not a
@@ -38,7 +53,9 @@ grep -q '"violations_total": 0' _build/SOAK_stuck.json
 
 echo "== soak CLI validation (one-line errors, exit 2) =="
 for bad in "--cases 0" "--cases x" "--domains 0" "--seed banana" \
-    "--mutant bogus" "--wall -1" "--resume" "--inject-stuck 99 --cases 5"; do
+    "--mutant bogus" "--wall -1" "--resume" "--inject-stuck 99 --cases 5" \
+    "--message-layer bogus" "--protocol bogus" "--message-layer" \
+    "--protocol"; do
   rc=0
   dune exec bin/soak_main.exe -- $bad --out /dev/null >/dev/null 2>&1 || rc=$?
   if [ "$rc" -ne 2 ]; then
@@ -50,19 +67,70 @@ done
 echo "== soak kill-and-resume =="
 sh scripts/soak_resume.sh
 
+echo "== msgs-check (pinned per-class message counts) =="
+dune exec bin/msgs_check.exe
+
 echo "== bench smoke run =="
 dune exec bench/main.exe -- --smoke --json _build/BENCH_smoke.json
-grep -q '"schema": "maaa-bench/1"' _build/BENCH_smoke.json
+grep -q '"schema": "maaa-bench/2"' _build/BENCH_smoke.json
+grep -q '"ocaml_version"' _build/BENCH_smoke.json
+grep -q '"recommended_domains"' _build/BENCH_smoke.json
 
 echo "== bench derived keys =="
 for key in b6_speedup_n12 b7_speedup b11_speedup_vote_storm \
     b11_speedup_instances b10_speedup_2_domains_vs_sequential \
-    b10_speedup_4_domains_vs_sequential; do
+    b10_speedup_4_domains_vs_sequential b12_reduction_batched_n12 \
+    b12_batched_exponent b12_ew_exponent b12_max_n_batched b12_max_n_ew; do
   grep -q "\"$key\"" _build/BENCH_smoke.json || {
     echo "ci: missing derived key $key in BENCH_smoke.json" >&2
     exit 1
   }
 done
+
+# The B12 sweep rows are exact message counts (no timing involved), so
+# they gate hard even in a smoke run: the combined-packet layer must cut
+# >= 3x at n = 12 and both sweep paths must fit a quadratic exponent.
+echo "== b12 communication gates =="
+awk '
+  function num(v) { gsub(/[,"]/, "", v); return v }
+  /"b12_reduction_batched_n12"/ {
+    v = num($2)
+    if (v == "null" || v + 0 < 3.0) {
+      printf "ci: b12 batched reduction %s < 3x at n=12\n", v > "/dev/stderr"; exit 1
+    }
+    seen++
+  }
+  /"b12_ew_exponent"/ || /"b12_batched_exponent"/ {
+    v = num($2)
+    if (v == "null" || v + 0 < 1.6 || v + 0 > 2.4) {
+      printf "ci: b12 exponent %s outside [1.6, 2.4] (%s)\n", v, $1 > "/dev/stderr"; exit 1
+    }
+    seen++
+  }
+  END { if (seen != 3) { print "ci: b12 gate keys missing" > "/dev/stderr"; exit 1 } }
+' _build/BENCH_smoke.json
+
+# Timing rows feeding the derived speedup keys must come from clean OLS
+# fits. Gated on the committed full-quota BENCH_lp.json, not the smoke
+# run — a 0.02 s quota cannot produce stable r^2.
+echo "== committed bench fit-quality gate (r^2 >= 0.7) =="
+awk '
+  /"name": "maaa\/(B5 implicit diameter|B8 subset enumeration|B9 16 objectives|B7 one rBC|B11 message layer\/rbc|B6 full protocol run\/n=12)/ {
+    line = $0
+    if (match(line, /"r2": [^}]*/)) {
+      r2 = substr(line, RSTART + 6, RLENGTH - 6)
+      if (r2 == "null" || r2 + 0 < 0.7) {
+        printf "ci: committed bench row with r2 %s < 0.7: %s\n", r2, line > "/dev/stderr"
+        bad = 1
+      }
+      checked++
+    }
+  }
+  END {
+    if (bad) exit 1
+    if (checked < 10) { printf "ci: only %d derived-key rows found in BENCH_lp.json\n", checked > "/dev/stderr"; exit 1 }
+  }
+' BENCH_lp.json
 
 # Chunked dispatch must keep 2-domain sweeps from regressing below 0.95x
 # sequential. Only meaningful with real parallelism: on a 1-core box every
