@@ -15,8 +15,11 @@ bench:
 # Quota 1 s: the slowest row (B5 seed one-shot, ~0.9 s/run) needs it to
 # get enough samples for a clean OLS fit — ci.sh gates r^2 >= 0.7 on the
 # committed file's derived-key rows.
+# --quota 3: at 1 s the 10-100 ms rows get too few samples for stable
+# OLS fits on a noisy host, and ci.sh gates r^2 >= 0.7 on the committed
+# file (the B5/B2D slow group separately enforces a >= 8 s quota).
 bench-json:
-	dune exec bench/main.exe -- --quota 1 --json BENCH_lp.json
+	dune exec bench/main.exe -- --quota 3 --json BENCH_lp.json
 
 # Build + tests + a tiny-quota bench smoke run (same as scripts/ci.sh).
 ci:

@@ -56,7 +56,7 @@ let b1_safe_area =
         (Staged.stage (fun () -> ignore (Safe_area.new_value ~t:2 pts_2d_8)));
       Test.make ~name:"D=2 n=12 t=3"
         (Staged.stage (fun () -> ignore (Safe_area.new_value ~t:3 pts_2d_12)));
-      Test.make ~name:"D=3 n=9 t=2 (LP)"
+      Test.make ~name:"D=3 n=9 t=2 (exact hull3d)"
         (Staged.stage (fun () -> ignore (Safe_area.new_value ~t:2 pts_3d_9)));
     ]
 
@@ -70,6 +70,46 @@ let b2_representations =
         (Staged.stage (fun () ->
              let hs = Hullset.make subsets in
              ignore (Hullset.diameter_pair hs)));
+    ]
+
+(* B2D: the D >= 3 diameter-query sweep this PR targets. At D=3 the
+   pre-PR hot path (implicit LP diameter search over a freshly built
+   hullset — no support cache survives across multisets) races the exact
+   Hull3d arm that now backs Safe_area. At D=4/5 — where the LP stays the
+   only kernel — the seed one-shot Reference search races the memoised
+   workspace path whose repeat queries land in the support cache. *)
+let b2d_subs_3 = Restrict.subsets_arr ~t:2 (Array.of_list pts_3d_9)
+let pts_4d_7 = random_points ~d:4 ~n:7 ~scale:10.
+let pts_5d_7 = random_points ~d:5 ~n:7 ~scale:10.
+let b2d_subs_4 = Restrict.subsets_arr ~t:1 (Array.of_list pts_4d_7)
+let b2d_subs_5 = Restrict.subsets_arr ~t:1 (Array.of_list pts_5d_7)
+let b2d_hs4_ref = Hullset.of_arrays b2d_subs_4
+let b2d_hs4_warm = Hullset.of_arrays b2d_subs_4
+let b2d_hs5_ref = Hullset.of_arrays b2d_subs_5
+let b2d_hs5_warm = Hullset.of_arrays b2d_subs_5
+
+let b2d_sweep =
+  Test.make_grouped ~name:"B2D safe-area diameter sweep"
+    [
+      Test.make ~name:"D=3 implicit LP (fresh hullset)"
+        (Staged.stage (fun () ->
+             let hs = Hullset.of_arrays b2d_subs_3 in
+             ignore (Hullset.diameter_pair hs)));
+      Test.make ~name:"D=3 exact hull3d"
+        (Staged.stage (fun () ->
+             match Hull3d.inter_hulls b2d_subs_3 with
+             | `Poly p -> ignore (Hull3d.diameter_pair p)
+             | `Empty | `Degenerate -> assert false));
+      Test.make ~name:"D=4 seed one-shot reference"
+        (Staged.stage (fun () ->
+             ignore (Hullset.Reference.diameter_pair b2d_hs4_ref)));
+      Test.make ~name:"D=4 support-cached workspace"
+        (Staged.stage (fun () -> ignore (Hullset.diameter_pair b2d_hs4_warm)));
+      Test.make ~name:"D=5 seed one-shot reference"
+        (Staged.stage (fun () ->
+             ignore (Hullset.Reference.diameter_pair b2d_hs5_ref)));
+      Test.make ~name:"D=5 support-cached workspace"
+        (Staged.stage (fun () -> ignore (Hullset.diameter_pair b2d_hs5_warm)));
     ]
 
 let b3_lp =
@@ -111,15 +151,23 @@ let b5_diameter =
       Test.make ~name:"seed one-shot (rebuild per query)"
         (Staged.stage (fun () ->
              ignore (Hullset.Reference.diameter_pair b5_hs_seed)));
-      Test.make ~name:"warm workspace (cached)"
-        (Staged.stage (fun () -> ignore (Hullset.diameter_pair b5_hs_warm)));
+      (* Support memoisation turned this row into a cache-hit measurement
+         (~25 us/query): x256 lifts it to the several-millisecond regime
+         where OLS fits clear ci.sh's r^2 gate on a noisy host; the b5
+         derived key divides the 256 back out so it stays a per-query
+         speedup. *)
+      Test.make ~name:"warm workspace (cached) x256"
+        (Staged.stage (fun () ->
+             for _ = 1 to 256 do
+               ignore (Hullset.diameter_pair b5_hs_warm)
+             done));
       Test.make ~name:"warm workspace (fresh hullset)"
         (Staged.stage (fun () ->
              let hs = Hullset.of_arrays b5_subsets_3d in
              ignore (Hullset.diameter_pair hs)));
     ]
 
-let protocol_run ?message_layer ~n ~ts ~ta ~d ~seed () =
+let protocol_run ?message_layer ?update_kernel ~n ~ts ~ta ~d ~seed () =
   let cfg = Config.make_exn ~n ~ts ~ta ~d ~eps:0.05 ~delta:10 in
   let inputs =
     List.init n (fun i ->
@@ -127,8 +175,8 @@ let protocol_run ?message_layer ~n ~ts ~ta ~d ~seed () =
   in
   fun () ->
     let o =
-      Maaa.run ~seed ?message_layer ~policy:(Network.lockstep ~delta:10) ~cfg
-        ~inputs ()
+      Maaa.run ~seed ?message_layer ?update_kernel
+        ~policy:(Network.lockstep ~delta:10) ~cfg ~inputs ()
     in
     assert (o.Maaa.outputs <> [])
 
@@ -160,10 +208,21 @@ let b7_run impl () =
   assert (List.length obs.Fixtures.rbc_deliveries = 7)
 
 let b7_rbc =
+  (* x16 on both rows: one instance is 15-30 us, too close to the noise
+     floor for a stable OLS fit (cf. the B11 comment); b7_speedup is
+     their ratio, so the scaling cancels. *)
   Test.make_grouped ~name:"B7 one rBC instance n=7"
     [
-      Test.make ~name:"interned" (Staged.stage (b7_run `Interned));
-      Test.make ~name:"reference msg layer" (Staged.stage (b7_run `Reference));
+      Test.make ~name:"interned x16"
+        (Staged.stage (fun () ->
+             for _ = 1 to 16 do
+               b7_run `Interned ()
+             done));
+      Test.make ~name:"reference msg layer x16"
+        (Staged.stage (fun () ->
+             for _ = 1 to 16 do
+               b7_run `Reference ()
+             done));
     ]
 
 (* The pre-PR recursive enumeration, kept here verbatim as the baseline. *)
@@ -189,10 +248,19 @@ let b8_subsets =
   let a16 = Array.of_list l16 in
   Test.make_grouped ~name:"B8 subset enumeration"
     [
-      Test.make ~name:"seed recursive lists m=12 t=3"
-        (Staged.stage (fun () -> ignore (subsets_seed ~t:3 l12)));
-      Test.make ~name:"index-array kernel m=12 t=3"
-        (Staged.stage (fun () -> ignore (Restrict.subsets_arr ~t:3 a12)));
+      (* x32 on both m=12 rows: the bare runs are 10-30 us, too close to
+         the clock's noise floor for stable r^2 (cf. the B11 comment);
+         the derived key is their ratio, so the scaling cancels. *)
+      Test.make ~name:"seed recursive lists m=12 t=3 x32"
+        (Staged.stage (fun () ->
+             for _ = 1 to 32 do
+               ignore (subsets_seed ~t:3 l12)
+             done));
+      Test.make ~name:"index-array kernel m=12 t=3 x32"
+        (Staged.stage (fun () ->
+             for _ = 1 to 32 do
+               ignore (Restrict.subsets_arr ~t:3 a12)
+             done));
       Test.make ~name:"seed recursive lists m=16 t=4"
         (Staged.stage (fun () -> ignore (subsets_seed ~t:4 l16)));
       Test.make ~name:"index-array kernel m=16 t=4"
@@ -375,6 +443,31 @@ let b11_message_layer =
              done));
     ]
 
+(* B13: update-kernel head-to-head on wall-clock — one full protocol run
+   per line, safe-area midpoint rule vs the centroid rule (which skips
+   the per-iteration diameter query entirely). Two dimensions on purpose:
+   at D=3 the exact Hull3d arm already makes the diameter query cheap, so
+   the centroid rule buys little (and can lose on extra iterations); at
+   D=4 the safe area is the implicit LP arm, whose diameter search is the
+   cost the centroid rule deletes. Rounds-to-ε for the same pairing are
+   in experiment E17; this group prices the iteration. *)
+let b13_kernel =
+  Test.make_grouped ~name:"B13 update kernel n=8"
+    [
+      Test.make ~name:"D=3 safe-area midpoint"
+        (Staged.stage (protocol_run ~n:8 ~ts:1 ~ta:1 ~d:3 ~seed:1L ()));
+      Test.make ~name:"D=3 centroid"
+        (Staged.stage
+           (protocol_run ~update_kernel:`Centroid ~n:8 ~ts:1 ~ta:1 ~d:3
+              ~seed:1L ()));
+      Test.make ~name:"D=4 safe-area midpoint"
+        (Staged.stage (protocol_run ~n:8 ~ts:1 ~ta:1 ~d:4 ~seed:1L ()));
+      Test.make ~name:"D=4 centroid"
+        (Staged.stage
+           (protocol_run ~update_kernel:`Centroid ~n:8 ~ts:1 ~ta:1 ~d:4
+              ~seed:1L ()));
+    ]
+
 (* B12: message-count sweeps. Not a bechamel benchmark: every count is an
    exact, deterministic function of the configuration (lockstep network,
    honest parties), so each point is one run and the resulting rows are
@@ -450,15 +543,16 @@ let tests =
     [
       b1_safe_area; b2_representations; b3_lp; b4_hull;
       b6_protocol; b7_rbc; b8_subsets; b9_problem; b10_sweep;
-      b11_message_layer;
+      b11_message_layer; b13_kernel;
     ]
 
 (* B5's seed one-shot line runs ~1 s per sample: a 1 s quota admits one
    sample and the OLS fit degenerates (r^2 null). Full runs give the B5
-   group a >= 6 s quota of its own so every committed derived-key row
-   clears ci.sh's fit-quality gate; smoke runs keep the tiny quota —
-   their r^2 is not gated. *)
-let tests_slow = Test.make_grouped ~name:"maaa" [ b5_diameter ]
+   group (and the B2D sweep, whose Reference rows are of the same breed)
+   a >= 8 s quota of its own so every committed derived-key row clears
+   ci.sh's fit-quality gate; smoke runs keep the tiny quota — their r^2
+   is not gated. *)
+let tests_slow = Test.make_grouped ~name:"maaa" [ b5_diameter; b2d_sweep ]
 
 let benchmark ~quota () =
   let ols =
@@ -472,7 +566,7 @@ let benchmark ~quota () =
     Analyze.all ols Instance.monotonic_clock raw
   in
   let results = group ~quota tests in
-  let slow_quota = if quota >= 0.5 then Float.max quota 6.0 else quota in
+  let slow_quota = if quota >= 0.5 then Float.max quota 8.0 else quota in
   Hashtbl.iter (Hashtbl.replace results) (group ~quota:slow_quota tests_slow);
   results
 
@@ -542,17 +636,42 @@ let write_json ~oc ~quota ~sweeps rows =
   let derived =
     [
       ( "b5_speedup_warm_cached_vs_seed",
-        speedup rows
-          ~baseline:"B5 implicit diameter D=3/seed one-shot (rebuild per query)"
-          ~target:"B5 implicit diameter D=3/warm workspace (cached)" );
+        (* the cached row runs x256 queries per iteration: scale back so
+           the key stays a per-query speedup *)
+        Option.map
+          (fun s -> s *. 256.)
+          (speedup rows
+             ~baseline:
+               "B5 implicit diameter D=3/seed one-shot (rebuild per query)"
+             ~target:"B5 implicit diameter D=3/warm workspace (cached) x256") );
       ( "b5_speedup_warm_fresh_vs_seed",
         speedup rows
           ~baseline:"B5 implicit diameter D=3/seed one-shot (rebuild per query)"
           ~target:"B5 implicit diameter D=3/warm workspace (fresh hullset)" );
+      ( "b2_speedup_d3",
+        speedup rows
+          ~baseline:"B2D safe-area diameter sweep/D=3 implicit LP (fresh hullset)"
+          ~target:"B2D safe-area diameter sweep/D=3 exact hull3d" );
+      ( "b2_speedup_d4",
+        speedup rows
+          ~baseline:"B2D safe-area diameter sweep/D=4 seed one-shot reference"
+          ~target:"B2D safe-area diameter sweep/D=4 support-cached workspace" );
+      ( "b2_speedup_d5",
+        speedup rows
+          ~baseline:"B2D safe-area diameter sweep/D=5 seed one-shot reference"
+          ~target:"B2D safe-area diameter sweep/D=5 support-cached workspace" );
+      ( "b13_kernel_centroid_vs_safe_area_d3",
+        speedup rows
+          ~baseline:"B13 update kernel n=8/D=3 safe-area midpoint"
+          ~target:"B13 update kernel n=8/D=3 centroid" );
+      ( "b13_kernel_centroid_vs_safe_area_d4",
+        speedup rows
+          ~baseline:"B13 update kernel n=8/D=4 safe-area midpoint"
+          ~target:"B13 update kernel n=8/D=4 centroid" );
       ( "b8_speedup_m12_t3",
         speedup rows
-          ~baseline:"B8 subset enumeration/seed recursive lists m=12 t=3"
-          ~target:"B8 subset enumeration/index-array kernel m=12 t=3" );
+          ~baseline:"B8 subset enumeration/seed recursive lists m=12 t=3 x32"
+          ~target:"B8 subset enumeration/index-array kernel m=12 t=3 x32" );
       ( "b8_speedup_m16_t4",
         speedup rows
           ~baseline:"B8 subset enumeration/seed recursive lists m=16 t=4"
@@ -573,8 +692,8 @@ let write_json ~oc ~quota ~sweeps rows =
           ~target:"B6 full protocol run/n=12 D=2 ts=3" );
       ( "b7_speedup",
         speedup rows
-          ~baseline:"B7 one rBC instance n=7/reference msg layer"
-          ~target:"B7 one rBC instance n=7/interned" );
+          ~baseline:"B7 one rBC instance n=7/reference msg layer x16"
+          ~target:"B7 one rBC instance n=7/interned x16" );
       ( "b12_reduction_batched_n12",
         (match (b12_msgs sweeps "reference" 12, b12_msgs sweeps "batched" 12) with
         | Some r, Some b when b > 0 -> Some (float_of_int r /. float_of_int b)
@@ -681,10 +800,32 @@ let () =
   (match
      speedup rows
        ~baseline:"B5 implicit diameter D=3/seed one-shot (rebuild per query)"
-       ~target:"B5 implicit diameter D=3/warm workspace (cached)"
+       ~target:"B5 implicit diameter D=3/warm workspace (cached) x256"
    with
-  | Some s -> Format.printf "@.B5 warm-workspace speedup over seed: %.2fx@." s
+  | Some s ->
+      Format.printf "@.B5 warm-workspace speedup over seed: %.2fx@."
+        (s *. 256.)
   | None -> ());
+  (match
+     speedup rows
+       ~baseline:"B2D safe-area diameter sweep/D=3 implicit LP (fresh hullset)"
+       ~target:"B2D safe-area diameter sweep/D=3 exact hull3d"
+   with
+  | Some s -> Format.printf "B2D exact hull3d speedup over implicit LP: %.2fx@." s
+  | None -> ());
+  (match
+     ( speedup rows
+         ~baseline:"B13 update kernel n=8/D=3 safe-area midpoint"
+         ~target:"B13 update kernel n=8/D=3 centroid",
+       speedup rows
+         ~baseline:"B13 update kernel n=8/D=4 safe-area midpoint"
+         ~target:"B13 update kernel n=8/D=4 centroid" )
+   with
+  | Some s3, Some s4 ->
+      Format.printf
+        "B13 centroid kernel speedup over safe-area midpoint: D=3 %.2fx, D=4 %.2fx@."
+        s3 s4
+  | _ -> ());
   (match
      speedup rows
        ~baseline:"B6 full protocol run/n=12 D=2 ts=3 (reference msg layer)"

@@ -1,6 +1,7 @@
 (* Randomized chaos soak driver.
    Usage: soak.exe [--cases N] [--seed S] [--domains N] [--mutant M]
                    [--message-layer interned|reference|batched]
+                   [--update-kernel safe-area|centroid]
                    [--protocol maaa|ew]
                    [--out FILE] [--journal FILE] [--resume]
                    [--case-events N] [--wall SECONDS|none] [--retries N]
@@ -59,6 +60,7 @@ let () =
   let retries = ref Soak.default.Soak.retries in
   let stuck = ref None in
   let layer = ref Soak.default.Soak.message_layer in
+  let kernel = ref Soak.default.Soak.update_kernel in
   let protocol = ref Soak.default.Soak.protocol in
   let rec parse = function
     | [] -> ()
@@ -113,6 +115,12 @@ let () =
             layer := l;
             parse rest
         | Error msg -> die "%s" msg)
+    | "--update-kernel" :: v :: rest -> (
+        match Soak.kernel_of_string v with
+        | Ok k ->
+            kernel := k;
+            parse rest
+        | Error msg -> die "%s" msg)
     | "--protocol" :: v :: rest -> (
         match Soak.protocol_of_string v with
         | Ok p ->
@@ -126,15 +134,17 @@ let () =
       when List.mem flag
              [ "--cases"; "--seed"; "--domains"; "--mutant"; "--out";
                "--journal"; "--case-events"; "--wall"; "--retries";
-               "--inject-stuck"; "--message-layer"; "--protocol" ] ->
+               "--inject-stuck"; "--message-layer"; "--update-kernel";
+               "--protocol" ] ->
         die "%s expects a value" flag
     | flag :: _ ->
         die
           "unknown argument %S (usage: soak.exe [--cases N] [--seed S] \
            [--domains N] [--mutant M] [--message-layer \
-           interned|reference|batched] [--protocol maaa|ew] [--out FILE] \
-           [--journal FILE] [--resume] [--case-events N] [--wall \
-           SECONDS|none] [--retries N] [--inject-stuck I] [--smoke])"
+           interned|reference|batched] [--update-kernel safe-area|centroid] \
+           [--protocol maaa|ew] [--out FILE] [--journal FILE] [--resume] \
+           [--case-events N] [--wall SECONDS|none] [--retries N] \
+           [--inject-stuck I] [--smoke])"
           flag
   in
   parse (List.tl (Array.to_list Sys.argv));
@@ -159,6 +169,7 @@ let () =
       retries = !retries;
       stuck = !stuck;
       message_layer = !layer;
+      update_kernel = !kernel;
       protocol = !protocol;
     }
   in

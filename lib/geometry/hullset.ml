@@ -1,3 +1,10 @@
+module Vtbl = Hashtbl.Make (struct
+  type t = Vec.t
+
+  let equal = Vec.equal_exact
+  let hash = Vec.hash
+end)
+
 type t = {
   dim : int;
   hulls : Vec.t array array;
@@ -7,6 +14,12 @@ type t = {
       (* cached LP workspace, keyed by the eps it was built with *)
   mutable hull_lists : Vec.t list array option;
       (* cached per-hull point lists for membership queries *)
+  support_cache : (float * Vec.t) option Vtbl.t;
+      (* memoised [support] answers keyed on the exact direction bits *)
+  mutable fpoint_cache : Vec.t option option;
+      (* memoised [find_point] answer *)
+  mutable cache_eps : float;
+      (* eps the two memo tables above were filled under *)
 }
 
 let validate hulls =
@@ -35,7 +48,17 @@ let of_arrays hulls =
       offsets.(i) <- !n;
       n := !n + Array.length h)
     hulls;
-  { dim; hulls; offsets; nvars = !n; problem = None; hull_lists = None }
+  {
+    dim;
+    hulls;
+    offsets;
+    nvars = !n;
+    problem = None;
+    hull_lists = None;
+    support_cache = Vtbl.create 61;
+    fpoint_cache = None;
+    cache_eps = 1e-9;
+  }
 
 let make hulls = of_arrays (Array.of_list (List.map Array.of_list hulls))
 let dim t = t.dim
@@ -89,8 +112,27 @@ let support_objective t ~dir =
   let h0 = t.hulls.(0) in
   List.init (Array.length h0) (fun j -> (t.offsets.(0) + j, Vec.dot dir h0.(j)))
 
+(* The memo tables are valid for exactly one eps at a time; queries under a
+   different tolerance drop them (the protocol only ever uses the default,
+   so in practice the caches live for the lifetime of [t]). *)
+let sync_caches t eps =
+  if not (Float.equal eps t.cache_eps) then begin
+    Vtbl.reset t.support_cache;
+    t.fpoint_cache <- None;
+    t.cache_eps <- eps
+  end
+
 let find_point ?(eps = 1e-9) t =
-  Option.map (point_of_solution t) (Lp.Problem.feasible_point (problem ~eps t))
+  sync_caches t eps;
+  match t.fpoint_cache with
+  | Some r -> r
+  | None ->
+      let r =
+        Option.map (point_of_solution t)
+          (Lp.Problem.feasible_point (problem ~eps t))
+      in
+      t.fpoint_cache <- Some r;
+      r
 
 let is_empty ?eps t = Option.is_none (find_point ?eps t)
 
@@ -109,20 +151,61 @@ let contains ?(eps = 1e-9) t p =
    every cached-workspace query is bit-identical to [Reference] below (and
    hence to the seed one-shot implementation) while still skipping the
    per-query constraint build, tableau build and phase 1. The fully warm
-   mode is benchmarked at the [Lp.Problem] level. *)
+   mode is benchmarked at the [Lp.Problem] level.
+
+   Answers are additionally memoised per [t], keyed on the exact coordinate
+   bits of [dir]: the diameter search's alternating refinement and the
+   sign-symmetric direction family re-issue identical directions, and a hit
+   returns the stored answer verbatim — bit-identical to the cold query by
+   construction. *)
 let support ?(eps = 1e-9) t ~dir =
-  match
-    Lp.Problem.solve_objective ~warm:false (problem ~eps t) ~minimize:false
-      ~objective:(support_objective t ~dir)
-  with
-  | Lp.Infeasible -> None
-  | Lp.Unbounded -> assert false (* K is bounded: a product of simplices *)
-  | Lp.Optimal (v, x) -> Some (v, point_of_solution t x)
+  sync_caches t eps;
+  match Vtbl.find_opt t.support_cache dir with
+  | Some r -> r
+  | None ->
+      let r =
+        match
+          Lp.Problem.solve_objective ~warm:false (problem ~eps t)
+            ~minimize:false
+            ~objective:(support_objective t ~dir)
+        with
+        | Lp.Infeasible -> None
+        | Lp.Unbounded ->
+            assert false (* K is bounded: a product of simplices *)
+        | Lp.Optimal (v, x) -> Some (v, point_of_solution t x)
+      in
+      Vtbl.replace t.support_cache dir r;
+      r
+
+(* A direction and its negation drive the same width query (the two support
+   calls swap roles and the width sum is commutative), so the direction
+   family is deduped up to sign. The canonical key flips the sign so the
+   first non-zero coordinate is positive and maps every zero to [+0.] — a
+   coordinate axis [e_c] and a normalised generator difference [±e_c] then
+   collide even when negation left a [-0.] behind. Keys are used for dedup
+   only; each kept representative queries with its original bits. *)
+let canon_dir d =
+  let a = Vec.to_array d in
+  let flip =
+    let rec first i =
+      if i >= Array.length a then false
+      else if a.(i) <> 0. then a.(i) < 0.
+      else first (i + 1)
+    in
+    first 0
+  in
+  Vec.of_array
+    (Array.map
+       (fun c ->
+         let c = if flip then -.c else c in
+         if c = 0. then 0. else c)
+       a)
 
 (* Deterministic direction family for the diameter search: coordinate axes
-   plus normalised pairwise differences of the (deduped) generators. Capped
-   so the query cost stays bounded; alternating refinement then sharpens the
-   best candidate. *)
+   plus normalised pairwise differences of the (deduped) generators,
+   deduped up to sign against the axes and each other. Capped so the query
+   cost stays bounded; alternating refinement then sharpens the best
+   candidate. *)
 let seed_directions t =
   let axes = List.init t.dim (fun c -> Vec.basis ~dim:t.dim c 1.) in
   let gens =
@@ -143,13 +226,23 @@ let seed_directions t =
   in
   pairs gens;
   let diffs = List.sort_uniq Vec.compare !diffs in
+  let seen = Vtbl.create 61 in
+  List.iter (fun a -> Vtbl.replace seen (canon_dir a) ()) axes;
   let cap = 24 in
-  let rec take k = function
-    | [] -> []
-    | _ when k = 0 -> []
-    | x :: rest -> x :: take (k - 1) rest
+  let kept = ref 0 in
+  let diffs =
+    List.filter
+      (fun d ->
+        let c = canon_dir d in
+        if !kept >= cap || Vtbl.mem seen c then false
+        else begin
+          Vtbl.replace seen c ();
+          incr kept;
+          true
+        end)
+      diffs
   in
-  axes @ take cap diffs
+  axes @ diffs
 
 (* The search itself, shared by the workspace-backed and the reference
    implementations so that their results can only differ through the

@@ -47,6 +47,15 @@ val diameter_pair : ?eps:float -> t -> (Vec.t * Vec.t) option
     support/feasibility query replays phase 2 from that state, which keeps
     the answers bit-identical to the one-shot reference below.
 
+    On top of the workspace, [support] and [find_point] answers are
+    memoised per [t] — [support] keyed on the exact coordinate bits of the
+    direction (consistent with {!Vec.equal_exact}) — so the diameter
+    search's sign-symmetric family and alternating refinement never
+    re-solve an LP they have already solved. A cache hit returns the stored
+    answer verbatim and is therefore bit-identical to the cold query. The
+    memo tables are valid for one [eps] at a time and reset when queried
+    under a different tolerance.
+
     [Reference] is the unstaged path — every query rebuilds the constraint
     system and calls the one-shot {!Lp.solve} / {!Lp.feasible_point}, as
     the code before the workspace layer did. It exists for differential

@@ -86,7 +86,7 @@ let run ?(monitor = false) ?(fail_fast = false) (s : Scenario.t) =
     in
     let p =
       Party.attach ~callbacks ?mutant:s.mutant ~message_layer:s.message_layer
-        ~safe_cache ~cfg ~me:i engine
+        ~update_kernel:s.update_kernel ~safe_cache ~cfg ~me:i engine
     in
     {
       a_start = Party.start p;

@@ -14,14 +14,15 @@ type t = {
   mutant : Party.mutant option;
   isolate : bool;
   message_layer : [ `Interned | `Reference | `Batched ];
+  update_kernel : Safe_cache.kernel;
   protocol : [ `Maaa | `Ew ];
   budget : budget;
 }
 
 let make ?(name = "scenario") ?(seed = 1L) ?policy ?(sync_network = true)
     ?(corruptions = []) ?chaos ?mutant ?(isolate = false)
-    ?(message_layer = `Interned) ?(protocol = `Maaa) ?(budget = no_budget)
-    ~cfg ~inputs () =
+    ?(message_layer = `Interned) ?(update_kernel = `Safe_area)
+    ?(protocol = `Maaa) ?(budget = no_budget) ~cfg ~inputs () =
   if List.length inputs <> cfg.Config.n then
     invalid_arg "Scenario.make: need one input per party";
   List.iter
@@ -67,6 +68,7 @@ let make ?(name = "scenario") ?(seed = 1L) ?policy ?(sync_network = true)
     mutant;
     isolate;
     message_layer;
+    update_kernel;
     protocol;
     budget;
   }

@@ -45,6 +45,10 @@ type t = {
           [`Batched] coalesces each party's per-tick rBC votes into one
           combined packet per receiver (ignored under [`Ew], which has no
           rBC traffic) *)
+  update_kernel : Safe_cache.kernel;
+      (** iteration update rule for honest parties (see {!Party.attach}):
+          the paper's safe-area midpoint (default) or the centroid-style
+          rule benchmarked in E17; ignored under [`Ew] *)
   protocol : [ `Maaa | `Ew ];
       (** which protocol the honest parties run: the paper's hybrid ΠAA
           (default) or the Erbes–Wattenhofer quadratic-communication
@@ -65,6 +69,7 @@ val make :
   ?mutant:Party.mutant ->
   ?isolate:bool ->
   ?message_layer:[ `Interned | `Reference | `Batched ] ->
+  ?update_kernel:Safe_cache.kernel ->
   ?protocol:[ `Maaa | `Ew ] ->
   ?budget:budget ->
   cfg:Config.t ->

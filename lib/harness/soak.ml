@@ -9,6 +9,7 @@ type config = {
   retries : int;
   stuck : int option;
   message_layer : [ `Interned | `Reference | `Batched ];
+  update_kernel : Safe_cache.kernel;
   protocol : [ `Maaa | `Ew ];
 }
 
@@ -24,6 +25,7 @@ let default =
     retries = 1;
     stuck = None;
     message_layer = `Interned;
+    update_kernel = `Safe_area;
     protocol = `Maaa;
   }
 
@@ -55,6 +57,18 @@ let layer_of_string = function
       Error
         (Printf.sprintf
            "unknown message layer %S (expected interned|reference|batched)" s)
+
+let kernel_to_string = function
+  | `Safe_area -> "safe-area"
+  | `Centroid -> "centroid"
+
+let kernel_of_string = function
+  | "safe-area" -> Ok `Safe_area
+  | "centroid" -> Ok `Centroid
+  | s ->
+      Error
+        (Printf.sprintf
+           "unknown update kernel %S (expected safe-area|centroid)" s)
 
 let protocol_to_string = function `Maaa -> "maaa" | `Ew -> "ew"
 
@@ -221,6 +235,11 @@ let build_case ~config rng i =
     | layer, `Maaa -> { scen with Scenario.message_layer = layer }
     | layer, `Ew ->
         { scen with Scenario.message_layer = layer; protocol = `Ew; chaos = None }
+  in
+  let scen =
+    match config.update_kernel with
+    | `Safe_area -> scen
+    | k -> { scen with Scenario.update_kernel = k }
   in
   (* Test/CI hook: replace case [i]'s corruptions with one unbounded
      spammer, a protocol livelock that generates events forever — the
@@ -421,7 +440,7 @@ let journal_schema = "maaa-soak-journal/1"
 
 let journal_header config =
   Printf.sprintf
-    "%s\tseed=%Ld\tcases=%d\tmutant=%s\tevents=%d\twall=%s\tretries=%d\tstuck=%s\tmax_shrink=%d\tlayer=%s\tprotocol=%s"
+    "%s\tseed=%Ld\tcases=%d\tmutant=%s\tevents=%d\twall=%s\tretries=%d\tstuck=%s\tmax_shrink=%d\tlayer=%s\tprotocol=%s\tkernel=%s"
     journal_schema config.seed config.cases
     (mutant_to_string config.mutant)
     config.case_events
@@ -431,6 +450,7 @@ let journal_header config =
     config.max_shrink
     (layer_to_string config.message_layer)
     (protocol_to_string config.protocol)
+    (kernel_to_string config.update_kernel)
 
 let enc s =
   let b = Buffer.create (String.length s) in
@@ -791,6 +811,9 @@ let to_json config (o : outcome) =
   (match config.protocol with
   | `Maaa -> ()
   | p -> out "  \"protocol\": \"%s\",\n" (protocol_to_string p));
+  (match config.update_kernel with
+  | `Safe_area -> ()
+  | k -> out "  \"update_kernel\": \"%s\",\n" (kernel_to_string k));
   out "  \"case_events\": %d,\n" config.case_events;
   out "  \"cases\": %d,\n" o.total;
   out "  \"sync_cases\": %d,\n" o.sync_cases;

@@ -35,6 +35,10 @@ type config = {
   message_layer : [ `Interned | `Reference | `Batched ];
       (** rBC implementation + egress path every case's honest parties
           use (see {!Scenario.t}); [`Interned] is the default grid *)
+  update_kernel : Safe_cache.kernel;
+      (** iteration update rule every case's honest parties use (see
+          {!Scenario.t}); [`Safe_area] is the default grid, [`Centroid]
+          re-soaks the same case grid under the centroid-style rule *)
   protocol : [ `Maaa | `Ew ];
       (** [`Ew] soaks the quadratic-communication protocol instead of
           ΠAA: the static corruption budget is capped at the case
@@ -57,6 +61,11 @@ val layer_of_string :
 (** ["interned"], ["reference"], ["batched"]. *)
 
 val layer_to_string : [ `Interned | `Reference | `Batched ] -> string
+
+val kernel_of_string : string -> (Safe_cache.kernel, string) result
+(** ["safe-area"], ["centroid"]. *)
+
+val kernel_to_string : Safe_cache.kernel -> string
 
 val protocol_of_string : string -> ([ `Maaa | `Ew ], string) result
 (** ["maaa"], ["ew"]. *)

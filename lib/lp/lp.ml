@@ -2,51 +2,59 @@ type cmp = Le | Ge | Eq
 type constr = { coeffs : (int * float) list; cmp : cmp; rhs : float }
 type result = Optimal of float * float array | Infeasible | Unbounded
 
-(* The tableau is a dense [m × (ncols + 1)] matrix, last column = rhs.
-   [basis.(i)] is the variable basic in row [i]. The objective is carried as
-   a separate priced-out row [obj] of length [ncols + 1]; [obj.(ncols)] holds
-   [−z]. Bland's rule (smallest eligible index enters, smallest basic index
-   leaves on ties) makes the solver terminate and deterministic. *)
+(* The tableau is a dense [m × (ncols + 1)] matrix stored as one flat
+   row-major float array ([stride = ncols + 1]); row [i] occupies
+   [tab.(i*stride) .. tab.(i*stride + ncols)], last cell = rhs. [basis.(i)]
+   is the variable basic in row [i]. The objective is carried as a separate
+   priced-out row [obj] of length [stride]; [obj.(ncols)] holds [−z]. The
+   [obj] scratch row is allocated once with the tableau and reused by every
+   phase, so a solve performs no per-phase allocation. Bland's rule
+   (smallest eligible index enters, smallest basic index leaves on ties)
+   makes the solver terminate and deterministic. *)
 
 type tableau = {
   m : int;
   ncols : int;
-  tab : float array array;
+  stride : int;
+  tab : float array;
   basis : int array;
+  obj : float array;  (* shared scratch objective row, length [stride] *)
   eps : float;
 }
 
 let price_out t obj =
+  let tab = t.tab in
   for i = 0 to t.m - 1 do
     let c = obj.(t.basis.(i)) in
-    if Float.abs c > 0. then
-      let row = t.tab.(i) in
+    if Float.abs c > 0. then begin
+      let off = i * t.stride in
       for j = 0 to t.ncols do
-        obj.(j) <- obj.(j) -. (c *. row.(j))
+        obj.(j) <- obj.(j) -. (c *. tab.(off + j))
       done
+    end
   done
 
 let pivot t obj ~row ~col =
-  let r = t.tab.(row) in
-  let piv = r.(col) in
+  let tab = t.tab in
+  let ro = row * t.stride in
+  let piv = tab.(ro + col) in
   for j = 0 to t.ncols do
-    r.(j) <- r.(j) /. piv
+    tab.(ro + j) <- tab.(ro + j) /. piv
   done;
   for i = 0 to t.m - 1 do
     if i <> row then begin
-      let f = t.tab.(i).(col) in
-      if Float.abs f > 0. then begin
-        let ri = t.tab.(i) in
+      let io = i * t.stride in
+      let f = tab.(io + col) in
+      if Float.abs f > 0. then
         for j = 0 to t.ncols do
-          ri.(j) <- ri.(j) -. (f *. r.(j))
+          tab.(io + j) <- tab.(io + j) -. (f *. tab.(ro + j))
         done
-      end
     end
   done;
   let f = obj.(col) in
   if Float.abs f > 0. then
     for j = 0 to t.ncols do
-      obj.(j) <- obj.(j) -. (f *. r.(j))
+      obj.(j) <- obj.(j) -. (f *. tab.(ro + j))
     done;
   t.basis.(row) <- col
 
@@ -85,9 +93,10 @@ let optimise t obj ~allowed =
       let best = ref (-1) in
       let best_ratio = ref infinity in
       for i = 0 to t.m - 1 do
-        let a = t.tab.(i).(col) in
+        let off = i * t.stride in
+        let a = t.tab.(off + col) in
         if a > t.eps then begin
-          let ratio = t.tab.(i).(t.ncols) /. a in
+          let ratio = t.tab.(off + t.ncols) /. a in
           (* exact comparisons: Bland's termination argument needs true
              ties, not eps-windows *)
           if
@@ -121,25 +130,27 @@ let build ~eps ~nvars cs =
   (* Worst case every row needs an artificial. *)
   let art_start = nvars + n_slack in
   let ncols = art_start + m in
-  let tab = Array.make_matrix m (ncols + 1) 0. in
+  let stride = ncols + 1 in
+  let tab = Array.make (m * stride) 0. in
   let basis = Array.make m (-1) in
+  let obj = Array.make stride 0. in
   let slack = ref nvars in
   let n_art = ref 0 in
   List.iteri
     (fun i c ->
-      let row = tab.(i) in
+      let off = i * stride in
       List.iter
         (fun (j, v) ->
           if j < 0 || j >= nvars then invalid_arg "Lp: variable out of range";
-          row.(j) <- row.(j) +. v)
+          tab.(off + j) <- tab.(off + j) +. v)
         c.coeffs;
-      row.(ncols) <- c.rhs;
+      tab.(off + ncols) <- c.rhs;
       let cmp = c.cmp in
       (* Normalise to rhs ≥ 0. *)
       let cmp =
-        if row.(ncols) < 0. then begin
+        if tab.(off + ncols) < 0. then begin
           for j = 0 to ncols do
-            row.(j) <- -.row.(j)
+            tab.(off + j) <- -.tab.(off + j)
           done;
           match cmp with Le -> Ge | Ge -> Le | Eq -> Eq
         end
@@ -147,25 +158,25 @@ let build ~eps ~nvars cs =
       in
       (match cmp with
       | Le ->
-          row.(!slack) <- 1.;
+          tab.(off + !slack) <- 1.;
           basis.(i) <- !slack;
           incr slack
       | Ge ->
-          row.(!slack) <- -1.;
+          tab.(off + !slack) <- -1.;
           incr slack;
           let a = art_start + !n_art in
-          row.(a) <- 1.;
+          tab.(off + a) <- 1.;
           basis.(i) <- a;
           incr n_art
       | Eq ->
           let a = art_start + !n_art in
-          row.(a) <- 1.;
+          tab.(off + a) <- 1.;
           basis.(i) <- a;
           incr n_art);
       (* A Le row with rhs ≥ 0 uses its slack as the initial basic var. *)
       ())
     cs;
-  ({ m; ncols; tab; basis; eps }, art_start)
+  ({ m; ncols; stride; tab; basis; obj; eps }, art_start)
 
 (* After phase 1, drive any artificial still in the basis out of it (its
    value is 0). If its whole row is 0 on real columns the row is redundant:
@@ -173,11 +184,11 @@ let build ~eps ~nvars cs =
 let expel_artificials t obj ~art_start =
   for i = 0 to t.m - 1 do
     if t.basis.(i) >= art_start then begin
-      let row = t.tab.(i) in
+      let off = i * t.stride in
       let col = ref (-1) in
       (try
          for j = 0 to art_start - 1 do
-           if Float.abs row.(j) > t.eps then begin
+           if Float.abs t.tab.(off + j) > t.eps then begin
              col := j;
              raise Exit
            end
@@ -187,14 +198,14 @@ let expel_artificials t obj ~art_start =
       else
         (* redundant row: zero it, keep the artificial basic at level 0 *)
         for j = 0 to t.ncols do
-          if j <> t.basis.(i) then row.(j) <- 0.
+          if j <> t.basis.(i) then t.tab.(off + j) <- 0.
         done
     end
   done
 
 let phase1 ~eps ~nvars cs =
   let t, art_start = build ~eps ~nvars cs in
-  let obj = Array.make (t.ncols + 1) 0. in
+  let obj = t.obj in
   for j = art_start to t.ncols - 1 do
     obj.(j) <- 1.
   done;
@@ -210,11 +221,14 @@ let phase1 ~eps ~nvars cs =
     Some (t, art_start)
   end
 
+(* The returned assignment is the only allocation a solve makes: it escapes
+   to the caller (geometry keeps the points), so it cannot be a reused
+   scratch buffer. *)
 let extract t ~nvars =
   let x = Array.make nvars 0. in
   for i = 0 to t.m - 1 do
     let b = t.basis.(i) in
-    if b < nvars then x.(b) <- t.tab.(i).(t.ncols)
+    if b < nvars then x.(b) <- t.tab.((i * t.stride) + t.ncols)
   done;
   x
 
@@ -222,7 +236,8 @@ let solve ?(eps = 1e-9) ~nvars ~minimize ~objective cs =
   match phase1 ~eps ~nvars cs with
   | None -> Infeasible
   | Some (t, art_start) ->
-      let obj = Array.make (t.ncols + 1) 0. in
+      let obj = t.obj in
+      Array.fill obj 0 t.stride 0.;
       let sign = if minimize then 1. else -1. in
       List.iter (fun (j, v) -> obj.(j) <- obj.(j) +. (sign *. v)) objective;
       price_out t obj;
@@ -246,21 +261,21 @@ let feasible_point ?(eps = 1e-9) ~nvars cs =
    - [warm:true] starts from whatever basis the previous solve ended in.
      Successive similar objectives (e.g. support directions swept over a
      polytope) then need only a handful of pivots.
-   - [warm:false] first restores the pristine post-phase-1 tableau (a row
-     blit, no allocation). Phase 2 then replays exactly the pivots the
-     one-shot [solve] would have made, so results are bit-identical to it —
-     which the agreement protocol's cross-party determinism and the
-     differential tests rely on.
+   - [warm:false] first restores the pristine post-phase-1 tableau (one
+     whole-array blit on the flat tableau, no allocation). Phase 2 then
+     replays exactly the pivots the one-shot [solve] would have made, so
+     results are bit-identical to it — which the agreement protocol's
+     cross-party determinism and the differential tests rely on.
 
-   The objective row and the restore snapshot are allocated once in [make];
-   [solve_objective] itself allocates only the returned solution vector. *)
+   The flat tableau, its objective scratch row and the restore snapshot are
+   allocated once in [make]; [solve_objective] itself allocates only the
+   returned solution vector. *)
 module Problem = struct
   type state = {
     t : tableau;
     art_start : int;
     nvars : int;
-    obj : float array;  (* reusable priced-out objective row *)
-    base_tab : float array array;  (* post-phase-1 snapshot, row-aligned *)
+    base_tab : float array;  (* post-phase-1 snapshot, same flat layout *)
     base_basis : int array;
     mutable pristine : bool;  (* true while [t] still equals the snapshot *)
   }
@@ -276,8 +291,7 @@ module Problem = struct
             t;
             art_start;
             nvars;
-            obj = Array.make (t.ncols + 1) 0.;
-            base_tab = Array.map Array.copy t.tab;
+            base_tab = Array.copy t.tab;
             base_basis = Array.copy t.basis;
             pristine = true;
           }
@@ -287,10 +301,7 @@ module Problem = struct
 
   let restore s =
     if not s.pristine then begin
-      let w = s.t.ncols + 1 in
-      for i = 0 to s.t.m - 1 do
-        Array.blit s.base_tab.(i) 0 s.t.tab.(i) 0 w
-      done;
+      Array.blit s.base_tab 0 s.t.tab 0 (Array.length s.base_tab);
       Array.blit s.base_basis 0 s.t.basis 0 s.t.m;
       s.pristine <- true
     end
@@ -303,7 +314,8 @@ module Problem = struct
         let x = Array.make s.nvars 0. in
         for i = 0 to s.t.m - 1 do
           let b = s.base_basis.(i) in
-          if b < s.nvars then x.(b) <- s.base_tab.(i).(s.t.ncols)
+          if b < s.nvars then
+            x.(b) <- s.base_tab.((i * s.t.stride) + s.t.ncols)
         done;
         Some x
 
@@ -312,8 +324,8 @@ module Problem = struct
     | Empty _ -> Infeasible
     | Workspace s ->
         if not warm then restore s;
-        let obj = s.obj in
-        Array.fill obj 0 (Array.length obj) 0.;
+        let obj = s.t.obj in
+        Array.fill obj 0 s.t.stride 0.;
         let sign = if minimize then 1. else -1. in
         List.iter
           (fun (j, v) ->

@@ -44,9 +44,11 @@ val feasible_point :
     {!Problem.make} builds the tableau and runs phase-1 feasibility exactly
     once; {!Problem.solve_objective} then answers any number of objectives
     against the same polyhedron by re-pricing the objective row over a basis
-    that is already primal feasible. All tableau rows, the objective row and
-    the restore snapshot are allocated in [make] and reused across solves —
-    a solve allocates nothing beyond the returned solution vector.
+    that is already primal feasible. The tableau is one flat row-major float
+    array; it, the objective scratch row and the restore snapshot are all
+    allocated in [make] and reused across solves — a solve allocates nothing
+    beyond the returned solution vector, and a [warm:false] restore is a
+    single contiguous blit.
 
     This is the hot path of the geometry stack: a safe-area diameter search
     issues ~2·(D + 24) support queries against one constraint system, and
@@ -83,7 +85,8 @@ module Problem : sig
       may differ from the one-shot solver's.
 
       With [warm:false] the pristine post-phase-1 tableau is restored first
-      (a row blit, no allocation), after which phase 2 replays exactly what
+      (one whole-tableau blit, no allocation), after which phase 2 replays
+      exactly what
       {!solve} would do: results are bit-identical to the one-shot solver.
       The geometry stack uses this mode so that cached-workspace queries
       remain bit-compatible with recomputation from scratch.

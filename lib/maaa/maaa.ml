@@ -6,7 +6,8 @@ type outcome = {
   stats : Engine.stats;
 }
 
-let run ?(seed = 1L) ?policy ?(silent = []) ?message_layer ~cfg ~inputs () =
+let run ?(seed = 1L) ?policy ?(silent = []) ?message_layer ?update_kernel ~cfg
+    ~inputs () =
   let n = cfg.Config.n in
   if List.length inputs <> n then
     invalid_arg "Maaa.run: need exactly one input per party";
@@ -30,7 +31,9 @@ let run ?(seed = 1L) ?policy ?(silent = []) ?message_layer ~cfg ~inputs () =
   let parties =
     List.filteri (fun i _ -> not (is_silent i)) (List.init n Fun.id)
     |> List.map (fun i ->
-           (i, Party.attach ?message_layer ~safe_cache ~cfg ~me:i engine))
+           ( i,
+             Party.attach ?message_layer ?update_kernel ~safe_cache ~cfg ~me:i
+               engine ))
   in
   let inputs = Array.of_list inputs in
   List.iter (fun (i, p) -> Party.start p inputs.(i)) parties;

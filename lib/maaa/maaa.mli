@@ -21,6 +21,7 @@ val run :
   ?policy:Engine.delay_policy ->
   ?silent:int list ->
   ?message_layer:[ `Interned | `Reference | `Batched ] ->
+  ?update_kernel:Safe_cache.kernel ->
   cfg:Config.t ->
   inputs:Vec.t list ->
   unit ->
@@ -29,7 +30,8 @@ val run :
     [inputs] (one vector per party, in order). Parties listed in [silent]
     are crash-corrupted from the start: they never send anything. The
     default [policy] is {!Network.lockstep} at [cfg.delta] (worst-case
-    synchrony).
+    synchrony). [update_kernel] selects the iteration update rule for
+    every party (see {!Party.attach}); default [`Safe_area].
 
     @raise Invalid_argument on input-count or dimension mismatches.
     @raise Failure if some honest party never outputs (a liveness bug or a

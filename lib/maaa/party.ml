@@ -23,6 +23,7 @@ type t = {
   intern : Intern.t;  (* one hash-consing table for all sub-protocols *)
   safe_cache : Safe_cache.t;  (* shared across the run's parties when the
                                  caller provides one (Maaa.run, Runner) *)
+  update_kernel : Safe_cache.kernel;  (* midpoint (paper) or centroid rule *)
   cbs : callbacks;
   now : unit -> int;
   send_all : Message.t -> unit;
@@ -125,7 +126,10 @@ and on_obc_output t it mset =
   if t.output = None && t.iter = it && t.pending_value = None then begin
     let k = Pairset.cardinal mset - (t.cfg.n - t.cfg.ts) in
     let trim = max k t.cfg.ta in
-    match Safe_cache.new_value_arr t.safe_cache ~t:trim (Pairset.values_arr mset) with
+    match
+      Safe_cache.new_value_arr ~kernel:t.update_kernel t.safe_cache ~t:trim
+        (Pairset.values_arr mset)
+    with
     | Some v ->
         let v =
           match t.mutant with
@@ -195,8 +199,8 @@ let on_rbc_deliver t (id : Message.rbc_id) payload =
   | _ -> ()
 
 let create ?(callbacks = no_callbacks) ?(mode = Estimate) ?mutant
-    ?(message_layer = `Interned) ?register_flush ?safe_cache ~cfg ~me ~now
-    ~send_all ~set_timer () =
+    ?(message_layer = `Interned) ?register_flush ?safe_cache
+    ?(update_kernel = `Safe_area) ~cfg ~me ~now ~send_all ~set_timer () =
   let impl =
     match message_layer with
     | `Batched -> `Interned  (* batching wraps the fast vote tables *)
@@ -223,6 +227,7 @@ let create ?(callbacks = no_callbacks) ?(mode = Estimate) ?mutant
       intern = Intern.create ();
       safe_cache =
         (match safe_cache with Some c -> c | None -> Safe_cache.create ());
+      update_kernel;
       cbs = callbacks;
       now;
       send_all;
@@ -266,8 +271,8 @@ let create ?(callbacks = no_callbacks) ?(mode = Estimate) ?mutant
          });
   t.init <-
     Some
-      (Init_round.create ~safe_cache:t.safe_cache ~n:cfg.Config.n
-         ~ts:cfg.Config.ts ~ta:cfg.Config.ta
+      (Init_round.create ~safe_cache:t.safe_cache ~update_kernel
+         ~n:cfg.Config.n ~ts:cfg.Config.ts ~ta:cfg.Config.ta
          ~delta:cfg.Config.delta ~eps:cfg.Config.eps
          {
            Init_round.now;
@@ -341,10 +346,11 @@ let handle t (ev : Message.t Engine.event) =
       | Message.Junk _ ->
           ())
 
-let attach ?callbacks ?mode ?mutant ?message_layer ?safe_cache ~cfg ~me engine
-    =
+let attach ?callbacks ?mode ?mutant ?message_layer ?safe_cache ?update_kernel
+    ~cfg ~me engine =
   let t =
-    create ?callbacks ?mode ?mutant ?message_layer ?safe_cache ~cfg ~me
+    create ?callbacks ?mode ?mutant ?message_layer ?safe_cache ?update_kernel
+      ~cfg ~me
       ~register_flush:(fun f -> Engine.set_flusher engine me f)
       ~now:(fun () -> Engine.now engine)
       ~send_all:(fun msg -> Engine.broadcast engine ~src:me msg)

@@ -53,6 +53,7 @@ val create :
   ?message_layer:[ `Interned | `Reference | `Batched ] ->
   ?register_flush:((unit -> unit) -> unit) ->
   ?safe_cache:Safe_cache.t ->
+  ?update_kernel:Safe_cache.kernel ->
   cfg:Config.t ->
   me:int ->
   now:(unit -> int) ->
@@ -72,6 +73,7 @@ val attach :
   ?mutant:mutant ->
   ?message_layer:[ `Interned | `Reference | `Batched ] ->
   ?safe_cache:Safe_cache.t ->
+  ?update_kernel:Safe_cache.kernel ->
   cfg:Config.t ->
   me:int ->
   Message.t Engine.t ->
@@ -93,7 +95,13 @@ val attach :
     party of a run ({!Maaa.run} and the harness runner do) so identical
     report multisets are evaluated once per run instead of once per
     party. Results are bit-identical either way — the cache is keyed on
-    the exact value multiset. Never share one across engines/runs. *)
+    the exact value multiset. Never share one across engines/runs.
+    [update_kernel] (default [`Safe_area]) selects the iteration update
+    rule: the paper's safe-area diameter-midpoint, or the centroid-style
+    rule ({!Safe_area.centroid_value_arr}) that skips the diameter LPs on
+    the hot path. Both adopt points of the safe area, so Validity and
+    per-iteration containment are preserved by construction; the Πinit
+    estimation uses the same kernel (see E17 for the head-to-head). *)
 
 val start : t -> Vec.t -> unit
 (** Join the protocol with input [v] (dimension must match the config). *)

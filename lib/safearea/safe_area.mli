@@ -4,10 +4,11 @@
     [safe_t(M) = ⋂ { convex(M') : M' ⊆ M, |M'| = |M| − t }] is the region
     guaranteed to lie inside the convex hull of the honest values of [M]
     whenever at most [t] of them are adversarial. The representation is
-    exact for dimensions 1 and 2 (order statistics, convex polygon
-    clipping) and implicit (LP-backed, see {!Hullset}) for [D ≥ 3]; the
-    [D ≥ 3] diameter is a deterministic convergent approximation, as
-    documented in DESIGN.md.
+    exact for dimensions 1–3 (order statistics, convex polygon clipping,
+    clipped 3-D polytopes — see {!Hull3d}) and implicit (LP-backed, see
+    {!Hullset}) for [D ≥ 4]; degenerate [D = 3] inputs fall back to the
+    implicit kernel. The implicit diameter is a deterministic convergent
+    approximation, as documented in DESIGN.md.
 
     Every operation is deterministic: parties recomputing a safe area from
     the same multiset obtain bit-identical results, which Πinit's
@@ -16,7 +17,9 @@
 type t =
   | Interval of { lo : float; hi : float }  (** [D = 1] *)
   | Planar of Polygon.t  (** [D = 2] *)
-  | Implicit of Hullset.t  (** [D ≥ 3]; known non-empty *)
+  | Spatial of Hull3d.poly  (** [D = 3], exact clipped polytope *)
+  | Implicit of Hullset.t
+      (** [D ≥ 4], and the [D = 3] degenerate fallback; known non-empty *)
 
 val compute : t:int -> Vec.t list -> t option
 (** [compute ~t vs] is [safe_t(vs)], or [None] when the intersection is
@@ -33,9 +36,9 @@ val compute_arr : t:int -> Vec.t array -> t option
 val contains : ?eps:float -> t -> Vec.t -> bool
 
 val diameter_pair : t -> Vec.t * Vec.t
-(** The deterministic pair [(a, b)] realizing (for [D ≤ 2]: exactly; for
-    [D ≥ 3]: approximately, see DESIGN.md) the diameter of the area, with
-    the paper's lexicographic tie-break. *)
+(** The deterministic pair [(a, b)] realizing (for [D ≤ 3]: exactly; for
+    the implicit arm: approximately, see DESIGN.md) the diameter of the
+    area, with the paper's lexicographic tie-break. *)
 
 val diameter : t -> float
 
@@ -56,7 +59,14 @@ val interior_point : t -> Vec.t
     protocol itself uses {!midpoint_value}). *)
 
 val centroid_value : t -> Vec.t
-(** The ablated update rule of DESIGN.md §4: the centroid of the area's
-    known extreme points ([D ≤ 2]) or a deterministic interior point
-    ([D ≥ 3]). Valid (stays inside the area) but comes without the
-    paper's [√(7/8)] contraction constant; E7 measures the difference. *)
+(** The centroid-style update rule (DESIGN.md §4 ablation and the
+    Cambus–Melnyk-inspired [`Centroid] party kernel): the centroid of the
+    area's known extreme points ([D ≤ 3]) or a deterministic interior
+    point (implicit arm — the memoised phase-1 point, no diameter LPs).
+    Valid (stays inside the area, hence inside every trimmed-subset hull)
+    but comes without the paper's [√(7/8)] contraction constant; E7 and
+    E17 measure the difference. *)
+
+val centroid_value_arr : t:int -> Vec.t array -> Vec.t option
+(** [Option.map centroid_value (compute_arr ~t vs)]: the complete
+    trim-and-centroid step of one [`Centroid]-kernel iteration. *)

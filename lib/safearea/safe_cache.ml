@@ -1,21 +1,27 @@
-(* Memoised safe-area midpoints, shared across the parties of one run.
-   ΠAA's new-value rule is a pure function of (trim, multiset): under any
-   schedule where several honest parties assemble the same report multiset
-   in the same iteration — which is every party, every iteration, in a
-   synchronous run without equivocation — the 2-D kernel redoes the same
-   O(C(m, m-t)) polygon intersection per party. Keying on the
+(* Memoised safe-area update values, shared across the parties of one run.
+   ΠAA's update rule is a pure function of (kernel, trim, multiset): under
+   any schedule where several honest parties assemble the same report
+   multiset in the same iteration — which is every party, every iteration,
+   in a synchronous run without equivocation — the geometry kernel redoes
+   the same O(C(m, m-t)) intersection per party. Keying on the
    canonically-sorted multiset collapses those to one computation. The
    cached vector is exactly what the uncached call would have returned
    (same inputs, deterministic kernel), so results are bit-identical;
    sharing the physical vector is safe because [Vec.t] is immutable. *)
 
-type key = { trim : int; vs : Vec.t array (* sorted by Vec.compare *) }
+type kernel = [ `Safe_area | `Centroid ]
+
+type key = {
+  trim : int;
+  kernel : int;  (* 0 = midpoint rule, 1 = centroid rule *)
+  vs : Vec.t array; (* sorted by Vec.compare *)
+}
 
 module H = Hashtbl.Make (struct
   type t = key
 
   let equal a b =
-    a.trim = b.trim
+    a.trim = b.trim && a.kernel = b.kernel
     && Array.length a.vs = Array.length b.vs
     &&
     let n = Array.length a.vs in
@@ -23,7 +29,7 @@ module H = Hashtbl.Make (struct
     go 0
 
   let hash k =
-    let h = ref ((k.trim + 1) * 0x01000193) in
+    let h = ref (((k.trim + 1) * 0x01000193) lxor (k.kernel * 0x9e3779b9)) in
     Array.iter (fun v -> h := (!h * 0x01000193) lxor Vec.hash v) k.vs;
     !h land max_int
 end)
@@ -32,17 +38,22 @@ type t = Vec.t option H.t
 
 let create () = H.create 64
 
-let new_value_arr cache ~t vs =
+let new_value_arr ?(kernel = `Safe_area) cache ~t vs =
   (* Canonicalise the order here so permutations of one multiset share an
      entry; [Safe_area.new_value_arr] re-sorts its own copy, which is
      idempotent and cheap next to the kernel. *)
   let vs = Array.copy vs in
   Array.sort Vec.compare vs;
-  let key = { trim = t; vs } in
+  let kid = match kernel with `Safe_area -> 0 | `Centroid -> 1 in
+  let key = { trim = t; kernel = kid; vs } in
   match H.find_opt cache key with
   | Some r -> r
   | None ->
-      let r = Safe_area.new_value_arr ~t vs in
+      let r =
+        match kernel with
+        | `Safe_area -> Safe_area.new_value_arr ~t vs
+        | `Centroid -> Safe_area.centroid_value_arr ~t vs
+      in
       H.add cache key r;
       r
 

@@ -1,23 +1,31 @@
-(** Run-scoped memoisation of {!Safe_area.new_value_arr}.
+(** Run-scoped memoisation of the safe-area update rules.
 
-    The new-value rule is a deterministic pure function of the trim level
-    and the value multiset, and in synchronous executions every honest
-    party evaluates it on the {e same} multiset each iteration (and on the
-    same witness reports during Πinit). One cache shared by all parties of
-    a run makes those n duplicate evaluations one kernel call plus n-1
-    lookups, without changing any result bit: a hit returns exactly what
-    the miss computed from identical inputs.
+    The update rule is a deterministic pure function of the kernel, the
+    trim level and the value multiset, and in synchronous executions every
+    honest party evaluates it on the {e same} multiset each iteration (and
+    on the same witness reports during Πinit). One cache shared by all
+    parties of a run makes those n duplicate evaluations one kernel call
+    plus n-1 lookups, without changing any result bit: a hit returns
+    exactly what the miss computed from identical inputs.
 
     Scope a cache to one run (one engine): sharing across runs would keep
     dead multisets alive, and sharing across pool domains is forbidden by
     the harness determinism contract (no mutable state crosses jobs). *)
 
+type kernel = [ `Safe_area | `Centroid ]
+(** Which update rule a cached value belongs to: the paper's
+    diameter-midpoint rule ({!Safe_area.new_value_arr}) or the
+    centroid-style rule ({!Safe_area.centroid_value_arr}). The kernel is
+    part of the cache key, so one run-scoped cache can serve parties on
+    different kernels without collisions. *)
+
 type t
 
 val create : unit -> t
 
-val new_value_arr : t -> t:int -> Vec.t array -> Vec.t option
-(** Same contract as {!Safe_area.new_value_arr}; the multiset is
+val new_value_arr : ?kernel:kernel -> t -> t:int -> Vec.t array -> Vec.t option
+(** Same contract as {!Safe_area.new_value_arr} (default) or
+    {!Safe_area.centroid_value_arr} ([~kernel:`Centroid]); the multiset is
     canonicalised, so permutations of one multiset hit one entry. *)
 
 val reset : t -> unit

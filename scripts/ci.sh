@@ -34,6 +34,16 @@ grep -q '"message_layer": "batched"' _build/SOAK_batched.json
 grep -q '"violations_total": 0' _build/SOAK_batched.json
 grep -q '"quarantined": 0' _build/SOAK_batched.json
 
+echo "== soak smoke: centroid update kernel =="
+# identical case grid, centroid-style update rule: Validity/Contraction
+# hold by construction (the centroid is a safe-area point) and Agreement
+# must hold empirically — the grid grades all three
+dune exec bin/soak_main.exe -- --smoke --domains 2 --update-kernel centroid \
+  --out _build/SOAK_centroid.json
+grep -q '"update_kernel": "centroid"' _build/SOAK_centroid.json
+grep -q '"violations_total": 0' _build/SOAK_centroid.json
+grep -q '"quarantined": 0' _build/SOAK_centroid.json
+
 echo "== soak smoke: EW quadratic protocol =="
 dune exec bin/soak_main.exe -- --smoke --domains 2 --protocol ew \
   --out _build/SOAK_ew.json
@@ -55,7 +65,7 @@ echo "== soak CLI validation (one-line errors, exit 2) =="
 for bad in "--cases 0" "--cases x" "--domains 0" "--seed banana" \
     "--mutant bogus" "--wall -1" "--resume" "--inject-stuck 99 --cases 5" \
     "--message-layer bogus" "--protocol bogus" "--message-layer" \
-    "--protocol"; do
+    "--protocol" "--update-kernel bogus" "--update-kernel"; do
   rc=0
   dune exec bin/soak_main.exe -- $bad --out /dev/null >/dev/null 2>&1 || rc=$?
   if [ "$rc" -ne 2 ]; then
@@ -80,7 +90,9 @@ echo "== bench derived keys =="
 for key in b6_speedup_n12 b7_speedup b11_speedup_vote_storm \
     b11_speedup_instances b10_speedup_2_domains_vs_sequential \
     b10_speedup_4_domains_vs_sequential b12_reduction_batched_n12 \
-    b12_batched_exponent b12_ew_exponent b12_max_n_batched b12_max_n_ew; do
+    b12_batched_exponent b12_ew_exponent b12_max_n_batched b12_max_n_ew \
+    b2_speedup_d3 b2_speedup_d4 b2_speedup_d5 \
+    b13_kernel_centroid_vs_safe_area_d3 b13_kernel_centroid_vs_safe_area_d4; do
   grep -q "\"$key\"" _build/BENCH_smoke.json || {
     echo "ci: missing derived key $key in BENCH_smoke.json" >&2
     exit 1
@@ -109,6 +121,23 @@ awk '
   }
   END { if (seen != 3) { print "ci: b12 gate keys missing" > "/dev/stderr"; exit 1 } }
 ' _build/BENCH_smoke.json
+
+# The D=3 geometry-kernel gate: on the committed full-quota file the
+# exact Hull3d diameter path must beat the pre-PR implicit-LP path by
+# >= 25x (measured ~50-60x; the margin absorbs host variance). Gated on
+# BENCH_lp.json, not the smoke run — smoke timings are noise.
+echo "== committed b2 D=3 geometry-kernel gate (>= 25x) =="
+awk '
+  /"b2_speedup_d3"/ {
+    v = $2; gsub(/[,"]/, "", v)
+    if (v == "null" || v + 0 < 25.0) {
+      printf "ci: b2_speedup_d3 %s < 25x in BENCH_lp.json\n", v > "/dev/stderr"
+      exit 1
+    }
+    found = 1
+  }
+  END { if (!found) { print "ci: b2_speedup_d3 missing in BENCH_lp.json" > "/dev/stderr"; exit 1 } }
+' BENCH_lp.json
 
 # Timing rows feeding the derived speedup keys must come from clean OLS
 # fits. Gated on the committed full-quota BENCH_lp.json, not the smoke

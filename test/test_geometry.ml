@@ -342,6 +342,56 @@ let prop_workspace_matches_reference =
       (* and the cached answers are stable under repetition *)
       && pair_opt_bits_eq dp (Hullset.diameter_pair hs))
 
+(* Support-cache hits must be bit-identical to cold queries: a twin hullset
+   answers each direction cold exactly once, while the probed hullset
+   answers the same direction repeatedly from its memo table — every answer
+   must carry the same bits. An eps change in between must drop the memo
+   and reproduce the cold answer again. *)
+let prop_support_cache_hits_bit_identical =
+  let gen =
+    QCheck.Gen.(
+      int_range 3 4 >>= fun d ->
+      int_range 5 6 >>= fun n ->
+      list_repeat n (list_repeat d (float_range (-10.) 10.)) >|= fun pts ->
+      (d, List.map Vec.of_list pts))
+  in
+  QCheck.Test.make ~name:"support-cache hits ≡ cold queries" ~count:25
+    (QCheck.make ~print:(fun (d, pts) ->
+         Printf.sprintf "d=%d n=%d %s" d (List.length pts)
+           (String.concat " " (List.map Vec.to_string pts)))
+       gen)
+    (fun (d, pts) ->
+      let mk () =
+        Hullset.of_arrays (Restrict.subsets_arr ~t:1 (Array.of_list pts))
+      in
+      let cold = mk () and hot = mk () in
+      let support_bits_eq a b =
+        match (a, b) with
+        | None, None -> true
+        | Some (v1, p1), Some (v2, p2) ->
+            Int64.bits_of_float v1 = Int64.bits_of_float v2
+            && Vec.compare p1 p2 = 0
+        | _ -> false
+      in
+      let dirs =
+        List.init d (fun c -> Vec.basis ~dim:d c 1.)
+        @ List.init d (fun c -> Vec.basis ~dim:d c (-1.))
+      in
+      List.for_all
+        (fun dir ->
+          let reference = Hullset.support cold ~dir in
+          let first = Hullset.support hot ~dir in
+          let hit = Hullset.support hot ~dir in
+          (* a different eps resets the memo; returning must restore the
+             original bits via a fresh cold solve *)
+          ignore (Hullset.support hot ~eps:1e-6 ~dir);
+          let after_reset = Hullset.support hot ~dir in
+          support_bits_eq reference first && support_bits_eq first hit
+          && support_bits_eq reference after_reset)
+        dirs
+      && vec_opt_bits_eq (Hullset.find_point hot) (Hullset.find_point hot)
+      && vec_opt_bits_eq (Hullset.find_point hot) (Hullset.find_point cold))
+
 let test_hullset_deterministic () =
   let h1 = [ v [ 0.; 0.; 0. ]; v [ 2.; 0.; 0. ]; v [ 0.; 2.; 0. ]; v [ 0.; 0.; 2. ] ] in
   let h2 = [ v [ 1.; 1.; 1. ]; v [ -1.; 0.; 0. ]; v [ 0.; -1.; 0. ]; v [ 0.; 0.; 1. ] ] in
@@ -393,6 +443,7 @@ let () =
         q
           [
             prop_workspace_matches_reference;
+            prop_support_cache_hits_bit_identical;
             prop_membership_agrees_2d;
             prop_hull_idempotent;
             prop_hull_contains_inputs;

@@ -120,6 +120,37 @@ let test_runner_reports_dead_run () =
     (Float.is_finite r.Runner.completion_rounds
     && r.Runner.completion_rounds >= 0.)
 
+(* The centroid update kernel adopts interior points of the same safe
+   areas the midpoint rule uses, so the monitor's invariants (Validity,
+   hull Contraction, ε-Agreement) must hold unchanged — including with a
+   silent corruption and at D=3, where the safe area runs on the exact
+   Hull3d arm. *)
+let test_centroid_kernel_monitored_clean () =
+  List.iter
+    (fun (d, corruptions) ->
+      let cfg = Config.make_exn ~n:5 ~ts:1 ~ta:0 ~d ~eps:0.05 ~delta:10 in
+      let inputs =
+        let rng = Rng.create 2027L in
+        Inputs.uniform_cube rng ~d ~n:5 ~side:4.
+      in
+      let s =
+        Scenario.make
+          ~name:(Printf.sprintf "centroid-d%d" d)
+          ~update_kernel:`Centroid ~corruptions ~cfg ~inputs ()
+      in
+      let r = Runner.run ~monitor:true s in
+      let name fmt = Printf.sprintf ("d=%d: " ^^ fmt) d in
+      Alcotest.(check bool) (name "live") true r.Runner.live;
+      Alcotest.(check bool) (name "valid") true r.Runner.valid;
+      Alcotest.(check bool) (name "agreement") true r.Runner.agreement;
+      match r.Runner.monitor with
+      | None -> Alcotest.fail (name "no monitor summary")
+      | Some m ->
+          Alcotest.(check int)
+            (name "0 violations") 0
+            (Monitor.total_violations m))
+    [ (2, []); (3, [ (4, Behavior.Silent) ]) ]
+
 (* --- Table --- *)
 
 let test_table_render () =
@@ -288,6 +319,8 @@ let () =
       ( "runner",
         [
           Alcotest.test_case "metrics" `Quick test_runner_contraction_and_diameters;
+          Alcotest.test_case "centroid kernel monitored clean" `Quick
+            test_centroid_kernel_monitored_clean;
           Alcotest.test_case "graceful on dead runs" `Quick
             test_runner_reports_dead_run;
         ] );
