@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json ci par-check soak soak-smoke soak-resume msgs-check clean
+.PHONY: all build test bench bench-json ci par-check soak soak-smoke soak-resume msgs-check net-check serve clean
 
 all: build
 
@@ -73,6 +73,24 @@ soak-resume:
 # (2n^2 per iteration). Deterministic; any drift fails.
 msgs-check:
 	dune exec bin/msgs_check.exe
+
+# Sim-as-oracle differential gate for the networked runtime: every
+# pinned-grid case (D in {1,2}, n in {4,8}, sync + async policies,
+# clean / silent / input-poisoning corruption arms) runs three times --
+# on the simulator backend, on the loopback TCP perfect-link backend,
+# and on the TCP backend under frame chaos (drop/duplicate/reorder/
+# delay-spike/connection-flap). The three results must be structurally
+# identical after masking wire statistics, and the chaos run's online
+# monitor must record zero violations. Exit 1 on any mismatch.
+net-check:
+	dune exec bin/net_check_main.exe
+
+# The agreement front door: a line-oriented TCP service that batches
+# client agreement requests per connection and multiplexes them over
+# the worker-domain pool (protocol in lib/harness/serve.mli).
+# --port 0 binds an ephemeral port and prints "listening <port>".
+serve:
+	dune exec bin/serve_main.exe -- --port 7171
 
 clean:
 	dune clean

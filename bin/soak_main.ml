@@ -2,7 +2,7 @@
    Usage: soak.exe [--cases N] [--seed S] [--domains N] [--mutant M]
                    [--message-layer interned|reference|batched]
                    [--update-kernel safe-area|centroid]
-                   [--protocol maaa|ew]
+                   [--protocol maaa|ew] [--transport sim|net]
                    [--out FILE] [--journal FILE] [--resume]
                    [--case-events N] [--wall SECONDS|none] [--retries N]
                    [--inject-stuck I] [--smoke]
@@ -62,6 +62,7 @@ let () =
   let layer = ref Soak.default.Soak.message_layer in
   let kernel = ref Soak.default.Soak.update_kernel in
   let protocol = ref Soak.default.Soak.protocol in
+  let transport = ref Soak.default.Soak.transport in
   let rec parse = function
     | [] -> ()
     | "--cases" :: v :: rest ->
@@ -127,6 +128,12 @@ let () =
             protocol := p;
             parse rest
         | Error msg -> die "%s" msg)
+    | "--transport" :: v :: rest -> (
+        match Soak.transport_of_string v with
+        | Ok t ->
+            transport := t;
+            parse rest
+        | Error msg -> die "%s" msg)
     | "--smoke" :: rest ->
         cases := 60;
         parse rest
@@ -135,14 +142,15 @@ let () =
              [ "--cases"; "--seed"; "--domains"; "--mutant"; "--out";
                "--journal"; "--case-events"; "--wall"; "--retries";
                "--inject-stuck"; "--message-layer"; "--update-kernel";
-               "--protocol" ] ->
+               "--protocol"; "--transport" ] ->
         die "%s expects a value" flag
     | flag :: _ ->
         die
           "unknown argument %S (usage: soak.exe [--cases N] [--seed S] \
            [--domains N] [--mutant M] [--message-layer \
            interned|reference|batched] [--update-kernel safe-area|centroid] \
-           [--protocol maaa|ew] [--out FILE] [--journal FILE] [--resume] \
+           [--protocol maaa|ew] [--transport sim|net] [--out FILE] \
+           [--journal FILE] [--resume] \
            [--case-events N] [--wall SECONDS|none] [--retries N] \
            [--inject-stuck I] [--smoke])"
           flag
@@ -171,6 +179,7 @@ let () =
       message_layer = !layer;
       update_kernel = !kernel;
       protocol = !protocol;
+      transport = !transport;
     }
   in
   let outcome =

@@ -23,6 +23,9 @@ type result = {
   honest_inputs : Vec.t list;
   traffic : (string * int * int) list;
   monitor : Monitor.summary option;
+  transport : [ `Sim | `Net ];
+  wire : Netrun.wire_stats option;
+      (* [Some] iff the run used the `Net transport *)
 }
 
 (* Uniform read-side view over whichever protocol the scenario runs, so
@@ -52,6 +55,21 @@ let run ?(monitor = false) ?(fail_fast = false) (s : Scenario.t) =
       ~n:cfg.Config.n ~policy ()
   in
   if s.isolate then Engine.set_isolation engine `Isolate;
+  (* The net transport must be below the engine before the first send;
+     its own wall budget doubles as the wire-stall watchdog. [Fun.protect]
+     guarantees the sockets die with the run, also on exceptions. *)
+  let net =
+    match s.transport with
+    | `Sim -> None
+    | `Net ->
+        let pump_budget =
+          Option.value s.Scenario.budget.Scenario.wall_seconds ~default:30.
+        in
+        Some
+          (Netrun.attach ?chaos:s.wire_chaos ~chaos_seed:s.seed ~pump_budget
+             engine)
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Netrun.close net) @@ fun () ->
   let inputs = Array.of_list s.inputs in
   let honest_ids = Scenario.honest s in
   let graded = Scenario.graded_honest s in
@@ -86,7 +104,8 @@ let run ?(monitor = false) ?(fail_fast = false) (s : Scenario.t) =
     in
     let p =
       Party.attach ~callbacks ?mutant:s.mutant ~message_layer:s.message_layer
-        ~update_kernel:s.update_kernel ~safe_cache ~cfg ~me:i engine
+        ~batch_window:s.batch_window ~update_kernel:s.update_kernel ~safe_cache
+        ~cfg ~me:i engine
     in
     {
       a_start = Party.start p;
@@ -210,6 +229,8 @@ let run ?(monitor = false) ?(fail_fast = false) (s : Scenario.t) =
     honest_inputs;
     traffic = Traffic.to_rows (Traffic.of_engine engine);
     monitor = Option.map Monitor.summary mon;
+    transport = s.transport;
+    wire = Option.map Netrun.stats net;
   }
 
 (* Parallel sweeps. [run] touches no state outside its own scenario: the
@@ -265,6 +286,14 @@ let pp_summary ppf r =
     "%s: live=%b valid=%b agreement=%b diam=%.3e (eps=%g) rounds=%.1f msgs=%d"
     r.scenario_name r.live r.valid r.agreement r.diameter r.eps
     r.completion_rounds r.stats.Engine.messages_sent;
+  (* only non-default backends announce themselves: committed sim
+     summaries stay byte-identical *)
+  (match (r.transport, r.wire) with
+  | `Net, Some w ->
+      Format.fprintf ppf " transport=net(frames=%d retx=%d reconn=%d)"
+        w.Netrun.frames_sent w.Netrun.retransmits w.Netrun.reconnects
+  | `Net, None -> Format.fprintf ppf " transport=net"
+  | `Sim, _ -> ());
   (match r.termination with
   | Completed -> ()
   | t ->

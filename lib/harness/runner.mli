@@ -42,6 +42,12 @@ type result = {
       (** the online invariant monitor's verdict (violation counts, worst
           final diameter vs ε, …); [Some] iff the run was started with
           [~monitor:true] *)
+  transport : [ `Sim | `Net ];
+      (** which backend carried the messages (from the scenario) *)
+  wire : Netrun.wire_stats option;
+      (** physical-layer statistics; [Some] iff [transport] is [`Net].
+          Unlike everything above, these depend on kernel scheduling
+          (retransmission and reconnect counts) — assert them loosely *)
 }
 
 val run : ?monitor:bool -> ?fail_fast:bool -> Scenario.t -> result

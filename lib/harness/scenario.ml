@@ -14,15 +14,19 @@ type t = {
   mutant : Party.mutant option;
   isolate : bool;
   message_layer : [ `Interned | `Reference | `Batched ];
+  batch_window : int;
   update_kernel : Safe_cache.kernel;
   protocol : [ `Maaa | `Ew ];
+  transport : [ `Sim | `Net ];
+  wire_chaos : Wire_chaos.plan option;
   budget : budget;
 }
 
 let make ?(name = "scenario") ?(seed = 1L) ?policy ?(sync_network = true)
     ?(corruptions = []) ?chaos ?mutant ?(isolate = false)
-    ?(message_layer = `Interned) ?(update_kernel = `Safe_area)
-    ?(protocol = `Maaa) ?(budget = no_budget) ~cfg ~inputs () =
+    ?(message_layer = `Interned) ?(batch_window = 1)
+    ?(update_kernel = `Safe_area) ?(protocol = `Maaa) ?(transport = `Sim)
+    ?wire_chaos ?(budget = no_budget) ~cfg ~inputs () =
   if List.length inputs <> cfg.Config.n then
     invalid_arg "Scenario.make: need one input per party";
   List.iter
@@ -44,6 +48,13 @@ let make ?(name = "scenario") ?(seed = 1L) ?policy ?(sync_network = true)
       match Fault_plan.validate ~cfg ~sync:sync_network ~existing:ids plan with
       | Ok () -> ()
       | Error msg -> invalid_arg ("Scenario.make: bad fault plan: " ^ msg)));
+  if batch_window < 1 then invalid_arg "Scenario.make: batch_window < 1";
+  (match (wire_chaos, transport) with
+  | Some _, `Sim ->
+      invalid_arg "Scenario.make: wire_chaos requires the `Net transport"
+  | _ -> ());
+  if transport = `Net && cfg.Config.n > 255 then
+    invalid_arg "Scenario.make: `Net transport frames party ids in one byte";
   (match budget.max_events with
   | Some e when e <= 0 -> invalid_arg "Scenario.make: budget.max_events <= 0"
   | _ -> ());
@@ -68,8 +79,11 @@ let make ?(name = "scenario") ?(seed = 1L) ?policy ?(sync_network = true)
     mutant;
     isolate;
     message_layer;
+    batch_window;
     update_kernel;
     protocol;
+    transport;
+    wire_chaos;
     budget;
   }
 

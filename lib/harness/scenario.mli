@@ -45,6 +45,10 @@ type t = {
           [`Batched] coalesces each party's per-tick rBC votes into one
           combined packet per receiver (ignored under [`Ew], which has no
           rBC traffic) *)
+  batch_window : int;
+      (** cross-tick aggregation window for the [`Batched] layer (see
+          {!Batch.create}); [1] (default) = the per-tick behaviour.
+          Ignored unless [message_layer] is [`Batched]. *)
   update_kernel : Safe_cache.kernel;
       (** iteration update rule for honest parties (see {!Party.attach}):
           the paper's safe-area midpoint (default) or the centroid-style
@@ -54,6 +58,16 @@ type t = {
           (default) or the Erbes–Wattenhofer quadratic-communication
           asynchronous AA ({!Ew_aa}). Under [`Ew] the [mutant] and
           [message_layer] fields are ignored. *)
+  transport : [ `Sim | `Net ];
+      (** message-passing backend: [`Sim] (default) keeps deliveries
+          inside the engine's event queue; [`Net] routes every message
+          through the loopback TCP runtime ({!Netrun}) below the same
+          engine-as-scheduler — results are byte-identical by design,
+          which is exactly what the differential harness checks *)
+  wire_chaos : Wire_chaos.plan option;
+      (** frame-level fault plan for the [`Net] transport (drop /
+          duplicate / reorder / delay / flap below the perfect link);
+          must be [None] under [`Sim] *)
   budget : budget;
       (** per-case watchdog budgets the runner enforces (see {!budget});
           defaults to {!no_budget} *)
@@ -69,8 +83,11 @@ val make :
   ?mutant:Party.mutant ->
   ?isolate:bool ->
   ?message_layer:[ `Interned | `Reference | `Batched ] ->
+  ?batch_window:int ->
   ?update_kernel:Safe_cache.kernel ->
   ?protocol:[ `Maaa | `Ew ] ->
+  ?transport:[ `Sim | `Net ] ->
+  ?wire_chaos:Wire_chaos.plan ->
   ?budget:budget ->
   cfg:Config.t ->
   inputs:Vec.t list ->

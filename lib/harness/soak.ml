@@ -11,6 +11,7 @@ type config = {
   message_layer : [ `Interned | `Reference | `Batched ];
   update_kernel : Safe_cache.kernel;
   protocol : [ `Maaa | `Ew ];
+  transport : [ `Sim | `Net ];
 }
 
 let default =
@@ -27,6 +28,7 @@ let default =
     message_layer = `Interned;
     update_kernel = `Safe_area;
     protocol = `Maaa;
+    transport = `Sim;
   }
 
 let mutant_to_string = function
@@ -76,6 +78,13 @@ let protocol_of_string = function
   | "maaa" -> Ok `Maaa
   | "ew" -> Ok `Ew
   | s -> Error (Printf.sprintf "unknown protocol %S (expected maaa|ew)" s)
+
+let transport_to_string = function `Sim -> "sim" | `Net -> "net"
+
+let transport_of_string = function
+  | "sim" -> Ok `Sim
+  | "net" -> Ok `Net
+  | s -> Error (Printf.sprintf "unknown transport %S (expected sim|net)" s)
 
 (* -- Per-case records ------------------------------------------------
 
@@ -240,6 +249,15 @@ let build_case ~config rng i =
     match config.update_kernel with
     | `Safe_area -> scen
     | k -> { scen with Scenario.update_kernel = k }
+  in
+  (* Same patch-after-make discipline: the net transport rides on the
+     built scenario, so the default sweep's RNG draws (and SOAK.json)
+     are untouched. The sim-as-oracle guarantee makes a `Net soak the
+     same logical sweep over real sockets. *)
+  let scen =
+    match config.transport with
+    | `Sim -> scen
+    | `Net -> { scen with Scenario.transport = `Net }
   in
   (* Test/CI hook: replace case [i]'s corruptions with one unbounded
      spammer, a protocol livelock that generates events forever — the
@@ -440,7 +458,7 @@ let journal_schema = "maaa-soak-journal/1"
 
 let journal_header config =
   Printf.sprintf
-    "%s\tseed=%Ld\tcases=%d\tmutant=%s\tevents=%d\twall=%s\tretries=%d\tstuck=%s\tmax_shrink=%d\tlayer=%s\tprotocol=%s\tkernel=%s"
+    "%s\tseed=%Ld\tcases=%d\tmutant=%s\tevents=%d\twall=%s\tretries=%d\tstuck=%s\tmax_shrink=%d\tlayer=%s\tprotocol=%s\tkernel=%s\ttransport=%s"
     journal_schema config.seed config.cases
     (mutant_to_string config.mutant)
     config.case_events
@@ -451,6 +469,7 @@ let journal_header config =
     (layer_to_string config.message_layer)
     (protocol_to_string config.protocol)
     (kernel_to_string config.update_kernel)
+    (transport_to_string config.transport)
 
 let enc s =
   let b = Buffer.create (String.length s) in
@@ -814,6 +833,9 @@ let to_json config (o : outcome) =
   (match config.update_kernel with
   | `Safe_area -> ()
   | k -> out "  \"update_kernel\": \"%s\",\n" (kernel_to_string k));
+  (match config.transport with
+  | `Sim -> ()
+  | t -> out "  \"transport\": \"%s\",\n" (transport_to_string t));
   out "  \"case_events\": %d,\n" config.case_events;
   out "  \"cases\": %d,\n" o.total;
   out "  \"sync_cases\": %d,\n" o.sync_cases;

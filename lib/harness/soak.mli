@@ -45,6 +45,13 @@ type config = {
           config's [ta] (EW's resilience bound regardless of synchrony)
           and chaos plans are dropped — static-corruption grading is the
           property under test *)
+  transport : [ `Sim | `Net ];
+      (** message backend every case runs on: [`Sim] (default) keeps
+          messages inside the discrete-event engine; [`Net] carries every
+          one over the loopback TCP perfect-link runtime ({!Netrun}).
+          Because the net backend is exact w.r.t. the engine schedule,
+          the graded results are identical — the net sweep exercises the
+          wire stack under the same case grid *)
 }
 
 val default : config
@@ -71,6 +78,11 @@ val protocol_of_string : string -> ([ `Maaa | `Ew ], string) result
 (** ["maaa"], ["ew"]. *)
 
 val protocol_to_string : [ `Maaa | `Ew ] -> string
+
+val transport_of_string : string -> ([ `Sim | `Net ], string) result
+(** ["sim"], ["net"]. *)
+
+val transport_to_string : [ `Sim | `Net ] -> string
 
 (** How one case ended, as plain data (strings/ints/floats only, so a
     record round-trips through the journal byte-exactly). *)

@@ -6,8 +6,8 @@ type outcome = {
   stats : Engine.stats;
 }
 
-let run ?(seed = 1L) ?policy ?(silent = []) ?message_layer ?update_kernel ~cfg
-    ~inputs () =
+let run ?(seed = 1L) ?policy ?(silent = []) ?message_layer ?update_kernel
+    ?(transport = `Sim) ~cfg ~inputs () =
   let n = cfg.Config.n in
   if List.length inputs <> n then
     invalid_arg "Maaa.run: need exactly one input per party";
@@ -24,6 +24,12 @@ let run ?(seed = 1L) ?policy ?(silent = []) ?message_layer ?update_kernel ~cfg
   let engine =
     Engine.create ~seed ~size_of:Message.size_of ~n ~policy ()
   in
+  let net =
+    match transport with
+    | `Sim -> None
+    | `Net -> Some (Netrun.attach ~chaos_seed:seed engine)
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Netrun.close net) @@ fun () ->
   let is_silent i = List.mem i silent in
   (* One memo cache for the whole run: honest parties assembling the same
      report multiset share one safe-area evaluation (bit-identical). *)

@@ -22,6 +22,7 @@ val run :
   ?silent:int list ->
   ?message_layer:[ `Interned | `Reference | `Batched ] ->
   ?update_kernel:Safe_cache.kernel ->
+  ?transport:[ `Sim | `Net ] ->
   cfg:Config.t ->
   inputs:Vec.t list ->
   unit ->
@@ -32,6 +33,9 @@ val run :
     default [policy] is {!Network.lockstep} at [cfg.delta] (worst-case
     synchrony). [update_kernel] selects the iteration update rule for
     every party (see {!Party.attach}); default [`Safe_area].
+    [transport] [`Net] routes every message through the loopback TCP
+    runtime ({!Netrun}) under the same engine-as-scheduler — the outcome
+    is byte-identical to [`Sim] by construction.
 
     @raise Invalid_argument on input-count or dimension mismatches.
     @raise Failure if some honest party never outputs (a liveness bug or a

@@ -199,8 +199,9 @@ let on_rbc_deliver t (id : Message.rbc_id) payload =
   | _ -> ()
 
 let create ?(callbacks = no_callbacks) ?(mode = Estimate) ?mutant
-    ?(message_layer = `Interned) ?register_flush ?safe_cache
-    ?(update_kernel = `Safe_area) ~cfg ~me ~now ~send_all ~set_timer () =
+    ?(message_layer = `Interned) ?(batch_window = 1) ?register_flush
+    ?safe_cache ?(update_kernel = `Safe_area) ~cfg ~me ~now ~send_all
+    ~set_timer () =
   let impl =
     match message_layer with
     | `Batched -> `Interned  (* batching wraps the fast vote tables *)
@@ -208,11 +209,11 @@ let create ?(callbacks = no_callbacks) ?(mode = Estimate) ?mutant
   in
   let batch =
     match message_layer with
-    | `Batched -> Some (Batch.create ~send_all)
+    | `Batched -> Some (Batch.create ~window:batch_window ~send_all ())
     | `Interned | `Reference -> None
   in
   (match (batch, register_flush) with
-  | Some b, Some reg -> reg (fun () -> Batch.flush b)
+  | Some b, Some reg -> reg (fun ~final -> Batch.flush ~final b)
   | Some _, None ->
       invalid_arg "Party.create: `Batched needs an end-of-tick register_flush"
   | None, _ -> ());
@@ -313,10 +314,10 @@ let poke t =
      | None -> ());
   if t.iter >= 1 then try_advance t
 
-let handle t (ev : Message.t Engine.event) =
+let handle t (ev : Message.t Transport.event) =
   match ev with
-  | Engine.Timer _ -> poke t
-  | Engine.Deliver { src; msg } -> (
+  | Transport.Timer _ -> poke t
+  | Transport.Deliver { src; msg } -> (
       match msg with
       | Message.Rbc (id, step, payload) ->
           Rbc.on_message (rbc t) ~from:src id step payload;
@@ -346,16 +347,27 @@ let handle t (ev : Message.t Engine.event) =
       | Message.Junk _ ->
           ())
 
-let attach ?callbacks ?mode ?mutant ?message_layer ?safe_cache ?update_kernel
-    ~cfg ~me engine =
+(* The only facts a party may know about its runtime are the ones the
+   endpoint record exposes — this is the whole-protocol seam between
+   [lib/maaa] and whichever backend (simulator engine, or the engine
+   driving the loopback TCP wire) carries the traffic. *)
+let attach_endpoint ?callbacks ?mode ?mutant ?message_layer ?batch_window
+    ?safe_cache ?update_kernel ~cfg (ep : Message.t Transport.endpoint) =
+  if ep.Transport.n <> cfg.Config.n then
+    invalid_arg "Party.attach_endpoint: endpoint/config n mismatch";
   let t =
-    create ?callbacks ?mode ?mutant ?message_layer ?safe_cache ?update_kernel
-      ~cfg ~me
-      ~register_flush:(fun f -> Engine.set_flusher engine me f)
-      ~now:(fun () -> Engine.now engine)
-      ~send_all:(fun msg -> Engine.broadcast engine ~src:me msg)
-      ~set_timer:(fun ~at -> Engine.set_timer engine ~party:me ~at ~tag:0)
+    create ?callbacks ?mode ?mutant ?message_layer ?batch_window ?safe_cache
+      ?update_kernel ~cfg ~me:ep.Transport.me
+      ~register_flush:ep.Transport.register_flush ~now:ep.Transport.now
+      ~send_all:ep.Transport.send_all
+      ~set_timer:(fun ~at -> ep.Transport.set_timer ~at ~tag:0)
       ()
   in
-  Engine.set_party engine me (handle t);
+  ep.Transport.set_handler (handle t);
   t
+
+let attach ?callbacks ?mode ?mutant ?message_layer ?batch_window ?safe_cache
+    ?update_kernel ~cfg ~me engine =
+  attach_endpoint ?callbacks ?mode ?mutant ?message_layer ?batch_window
+    ?safe_cache ?update_kernel ~cfg
+    (Engine.endpoint engine ~me)

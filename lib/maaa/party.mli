@@ -51,7 +51,8 @@ val create :
   ?mode:mode ->
   ?mutant:mutant ->
   ?message_layer:[ `Interned | `Reference | `Batched ] ->
-  ?register_flush:((unit -> unit) -> unit) ->
+  ?batch_window:int ->
+  ?register_flush:(((final:bool -> unit) -> unit)) ->
   ?safe_cache:Safe_cache.t ->
   ?update_kernel:Safe_cache.kernel ->
   cfg:Config.t ->
@@ -63,22 +64,43 @@ val create :
   t
 (** [register_flush] must be provided when [message_layer] is [`Batched]:
     it receives the party's end-of-tick flush closure and is expected to
-    arrange for it to run once per tick ({!attach} wires it to
+    arrange for it to run once per tick, plus a last [~final:true] fire
+    before the run goes quiescent ({!attach} wires it to
     [Engine.set_flusher]). Raises [Invalid_argument] if [`Batched] is
-    requested without it. *)
+    requested without it. [batch_window] (default [1]) is handed to
+    {!Batch.create}: the opt-in cross-tick aggregation window. *)
+
+val attach_endpoint :
+  ?callbacks:callbacks ->
+  ?mode:mode ->
+  ?mutant:mutant ->
+  ?message_layer:[ `Interned | `Reference | `Batched ] ->
+  ?batch_window:int ->
+  ?safe_cache:Safe_cache.t ->
+  ?update_kernel:Safe_cache.kernel ->
+  cfg:Config.t ->
+  Message.t Transport.endpoint ->
+  t
+(** Creates the party against an abstract transport endpoint and installs
+    its handler through it — the backend-independent form of {!attach}
+    (the simulator engine and the networked runtime both present
+    themselves as endpoints). Raises [Invalid_argument] when the
+    endpoint's [n] disagrees with the config. *)
 
 val attach :
   ?callbacks:callbacks ->
   ?mode:mode ->
   ?mutant:mutant ->
   ?message_layer:[ `Interned | `Reference | `Batched ] ->
+  ?batch_window:int ->
   ?safe_cache:Safe_cache.t ->
   ?update_kernel:Safe_cache.kernel ->
   cfg:Config.t ->
   me:int ->
   Message.t Engine.t ->
   t
-(** Creates the party wired to the engine and registers its handler.
+(** [attach_endpoint] on [Engine.endpoint engine ~me]: creates the party
+    wired to the engine and registers its handler.
     [mode] defaults to [Estimate]. [message_layer] selects the broadcast
     implementations (default [`Interned], the fast path): the party owns
     one {!Intern} hash-consing table shared by its rBC multiplexer and
@@ -106,7 +128,7 @@ val attach :
 val start : t -> Vec.t -> unit
 (** Join the protocol with input [v] (dimension must match the config). *)
 
-val handle : t -> Message.t Engine.event -> unit
+val handle : t -> Message.t Transport.event -> unit
 
 (* -- observers, used by the harness and the experiments -- *)
 

@@ -1,0 +1,22 @@
+(** Byte-exact binary round-trip for {!Message.t}.
+
+    Vector coordinates travel as raw IEEE-754 bit patterns, so decoding
+    reproduces the sender's floats exactly — the sim-as-oracle
+    differential depends on it. Integrity is the frame layer's job; a
+    malformed buffer here means a local bug and raises {!Malformed}. *)
+
+exception Malformed of string
+
+val encode : Message.t -> Bytes.t
+val decode : Bytes.t -> Message.t
+(** Raises {!Malformed} on truncation, unknown constructor codes,
+    implausible length prefixes, or trailing bytes. *)
+
+val encode_record : engine_seq:int -> deliver_at:int -> Message.t -> Bytes.t
+(** The net backend's DATA payload: the engine-allocated sequence number
+    and delivery tick ride with the message so the receiving side can
+    re-insert it under the exact event-queue key a direct send would
+    have used. *)
+
+val decode_record : Bytes.t -> int * int * Message.t
+(** [(engine_seq, deliver_at, msg)]. Raises {!Malformed} as {!decode}. *)

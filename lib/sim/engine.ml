@@ -1,7 +1,15 @@
 type time = int
 
-type 'msg event = Deliver of { src : int; msg : 'msg } | Timer of int
+type 'msg event = 'msg Transport.event =
+  | Deliver of { src : int; msg : 'msg }
+  | Timer of int
+
 type delay_policy = rng:Rng.t -> now:time -> src:int -> dst:int -> time
+
+type 'msg wire = {
+  wire_send : src:int -> dst:int -> seq:int -> deliver_at:time -> 'msg -> unit;
+  wire_pump : unit -> bool;
+}
 
 type stats = {
   messages_sent : int;
@@ -31,7 +39,8 @@ type 'msg t = {
   size_of : 'msg -> int;
   queue : 'msg event Heap.Keyed.t;  (* aux rider = delivery target *)
   handlers : ('msg event -> unit) option array;
-  flushers : (unit -> unit) option array;
+  flushers : (final:bool -> unit) option array;
+  mutable wire : 'msg wire option;
   classify : ('msg -> (int -> int -> unit) -> unit) option;
   class_msgs : int array;
   class_bytes : int array;
@@ -70,6 +79,7 @@ let create ?(seed = 0x5eedL) ?(size_of = fun _ -> 0) ?(classes = 0) ?classify
     queue = Heap.Keyed.create ();
     handlers = Array.make n None;
     flushers = Array.make n None;
+    wire = None;
     classify = (if classes = 0 then None else classify);
     class_msgs = Array.make classes 0;
     class_bytes = Array.make classes 0;
@@ -119,6 +129,20 @@ let push t ~at ~target ev =
   t.seq <- t.seq + 1;
   Heap.Keyed.push t.queue ~key:((at lsl seq_bits) lor t.seq) ~aux:target ev
 
+let set_wire t w = t.wire <- Some w
+let clear_wire t = t.wire <- None
+
+(* Re-insertion point for a wire backend: the message was sent earlier
+   (its sequence number was allocated then, its stats were counted then)
+   and has now physically arrived, so it enters the heap under exactly
+   the key a direct [push] would have used at send time. The pop order
+   of a wire run is therefore identical to the simulator's. *)
+let inject t ~src ~dst ~seq ~deliver_at msg =
+  if dst < 0 || dst >= t.n then invalid_arg "Engine.inject: bad destination";
+  let at = max deliver_at t.now in
+  Heap.Keyed.push t.queue ~key:((at lsl seq_bits) lor seq) ~aux:dst
+    (Deliver { src; msg })
+
 let send t ~src ~dst msg =
   if dst < 0 || dst >= t.n then invalid_arg "Engine.send: bad destination";
   let delay = max 1 (t.policy ~rng:t.rng ~now:t.now ~src ~dst) in
@@ -134,7 +158,13 @@ let send t ~src ~dst msg =
   (match t.tracer with
   | Some f -> f (Sent { src; dst; at = t.now; deliver_at; msg })
   | None -> ());
-  push t ~at:deliver_at ~target:dst (Deliver { src; msg })
+  match t.wire with
+  | None -> push t ~at:deliver_at ~target:dst (Deliver { src; msg })
+  | Some w ->
+      (* the sequence number is allocated here, in global send order, and
+         travels with the message so [inject] can reproduce the heap key *)
+      t.seq <- t.seq + 1;
+      w.wire_send ~src ~dst ~seq:t.seq ~deliver_at msg
 
 let broadcast t ~src msg =
   for dst = 0 to t.n - 1 do
@@ -144,6 +174,18 @@ let broadcast t ~src msg =
 let set_timer t ~party ~at ~tag =
   if party < 0 || party >= t.n then invalid_arg "Engine.set_timer: bad party";
   push t ~at ~target:party (Timer tag)
+
+let endpoint t ~me : 'msg Transport.endpoint =
+  if me < 0 || me >= t.n then invalid_arg "Engine.endpoint: bad party";
+  {
+    Transport.me;
+    n = t.n;
+    now = (fun () -> t.now);
+    send_all = (fun msg -> broadcast t ~src:me msg);
+    set_timer = (fun ~at ~tag -> set_timer t ~party:me ~at ~tag);
+    register_flush = (fun f -> set_flusher t me f);
+    set_handler = (fun h -> set_party t me h);
+  }
 
 let quiescent t = Heap.Keyed.is_empty t.queue
 
@@ -158,11 +200,35 @@ let flush_tick t =
   if t.has_flushers && t.flushed_upto < t.now then begin
     t.flushed_upto <- t.now;
     for i = 0 to t.n - 1 do
-      match t.flushers.(i) with Some f -> f () | None -> ()
+      match t.flushers.(i) with Some f -> f ~final:false | None -> ()
     done;
     true
   end
   else false
+
+(* Wire drain: when a wire backend is attached, its pump moves every
+   in-flight message through the physical layer and re-injects it (via
+   {!inject}); returns [true] iff anything new entered the queue. Runs at
+   the same seams as {!flush_tick} — when the queue empties and when the
+   loop is about to advance time — so a wire run processes events in
+   exactly the simulator's order. *)
+let pump t =
+  match t.wire with None -> false | Some w -> w.wire_pump ()
+
+(* Last-chance flush before the run goes quiescent: hooks that coalesce
+   across ticks (a cross-tick batch window) may still hold traffic that
+   no further tick would ever flush. Runs every flusher with
+   [final = true]; progress is detected through the send counter, which
+   both the direct and the wire send paths bump. *)
+let final_flush t =
+  if not t.has_flushers then false
+  else begin
+    let before = t.messages_sent in
+    for i = 0 to t.n - 1 do
+      match t.flushers.(i) with Some f -> f ~final:true | None -> ()
+    done;
+    t.messages_sent > before
+  end
 
 (* [should_stop] is polled every [stop_poll_mask + 1] processed events, so
    a wall-clock deadline closure costs one clock read per 64 events, not
@@ -177,7 +243,7 @@ let run ?until ?(max_events = 10_000_000) ?(on_budget = `Raise) ?should_stop t
   let continue = ref true in
   while !continue do
     if Heap.Keyed.is_empty t.queue then begin
-      if not (flush_tick t) then begin
+      if not (flush_tick t || pump t || final_flush t) then begin
         t.stop_reason <- `Quiescent;
         continue := false
       end
@@ -192,8 +258,9 @@ let run ?until ?(max_events = 10_000_000) ?(on_budget = `Raise) ?should_stop t
     end
     else
       let at = Heap.Keyed.min_key_exn t.queue lsr seq_bits in
-      if at > t.now && flush_tick t then ()
-        (* flushed the current tick: re-peek, the minimum may have moved *)
+      if at > t.now && (flush_tick t || pump t) then ()
+        (* flushed the current tick / drained the wire: re-peek, the
+           minimum may have moved *)
       else if match until with Some u -> at > u | None -> false then begin
         t.stop_reason <- `Past_until;
         continue := false

@@ -17,7 +17,7 @@
 
 type time = int
 
-type 'msg event =
+type 'msg event = 'msg Transport.event =
   | Deliver of { src : int; msg : 'msg }
   | Timer of int  (** protocol-chosen tag *)
 
@@ -69,7 +69,7 @@ val set_party : 'msg t -> int -> ('msg event -> unit) -> unit
 val clear_party : 'msg t -> int -> unit
 (** Removes the handler (and any registered flusher): the party crashes. *)
 
-val set_flusher : 'msg t -> int -> (unit -> unit) -> unit
+val set_flusher : 'msg t -> int -> (final:bool -> unit) -> unit
 (** Registers an end-of-tick flush hook for party [i]. All registered
     flushers run, in party-index order, exactly once per tick value —
     when the run loop is about to advance simulated time past the
@@ -78,7 +78,19 @@ val set_flusher : 'msg t -> int -> (unit -> unit) -> unit
     during a tick and emits one combined packet per receiver when its
     flusher fires. Flushed sends are ordinary sends (delay ≥ 1), so a
     flush can never cascade within the same tick. Cleared together with
-    the handler by {!clear_party} and by [`Isolate] failure capture. *)
+    the handler by {!clear_party} and by [`Isolate] failure capture.
+
+    When the run is about to go quiescent (queue drained, no per-tick
+    flush produced traffic, wire drained) every flusher additionally
+    runs with [final = true]: a hook holding cross-tick state (the
+    opt-in batch window) must emit it then or lose it. Hooks that flush
+    everything on every call can ignore the flag. *)
+
+val endpoint : 'msg t -> me:int -> 'msg Transport.endpoint
+(** Party [me]'s view of this engine as an abstract {!Transport.endpoint}
+    — the seam that keeps protocol code free of engine specifics.
+    [send_all] is {!broadcast}, [set_timer] {!set_timer},
+    [register_flush] {!set_flusher}, [set_handler] {!set_party}. *)
 
 val wrap_party : 'msg t -> int -> (('msg event -> unit) -> 'msg event -> unit) -> unit
 (** [wrap_party t i f] replaces party [i]'s handler [h] with [f h] — the
@@ -160,6 +172,37 @@ type 'msg trace_event =
   | Timer_fired of { party : int; at : time; tag : int }
   | Party_failed of failure
       (** emitted only under [`Isolate] when a handler raised *)
+
+type 'msg wire = {
+  wire_send : src:int -> dst:int -> seq:int -> deliver_at:time -> 'msg -> unit;
+      (** take custody of a sent message: it must eventually come back
+          through {!inject} with the same [seq]/[deliver_at] *)
+  wire_pump : unit -> bool;
+      (** move every in-flight message through the physical layer and
+          {!inject} it; [true] iff anything entered the queue *)
+}
+
+val set_wire : 'msg t -> 'msg wire -> unit
+(** Attaches a physical message layer below the engine. With a wire set,
+    {!send} still draws the delay policy, counts stats and fires the
+    [Sent] trace exactly as before, but instead of pushing the delivery
+    event it allocates the event sequence number and hands
+    [(src, dst, seq, deliver_at, msg)] to [wire_send]. The run loop calls
+    [wire_pump] whenever the queue drains or simulated time is about to
+    advance, so every in-flight message is re-injected before any event
+    of a later tick is processed — the pop order (and hence the whole
+    run) is identical to the direct path. A perfect physical layer must
+    lose nothing; [lib/net]'s retransmit/ACK link provides that over real
+    sockets. *)
+
+val clear_wire : 'msg t -> unit
+
+val inject :
+  'msg t -> src:int -> dst:int -> seq:int -> deliver_at:time -> 'msg -> unit
+(** Wire-side re-insertion of a message previously handed to [wire_send]:
+    enters the event queue under the exact key a direct send would have
+    used (the carried [seq] breaks time ties). Stats were already counted
+    at send time — inject counts nothing. *)
 
 val set_tracer : 'msg t -> ('msg trace_event -> unit) -> unit
 (** Installs a hook invoked on every send, delivery and timer. Used for

@@ -1,0 +1,11 @@
+type 'msg event = Deliver of { src : int; msg : 'msg } | Timer of int
+
+type 'msg endpoint = {
+  me : int;
+  n : int;
+  now : unit -> int;
+  send_all : 'msg -> unit;
+  set_timer : at:int -> tag:int -> unit;
+  register_flush : (final:bool -> unit) -> unit;
+  set_handler : ('msg event -> unit) -> unit;
+}

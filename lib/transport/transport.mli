@@ -1,0 +1,38 @@
+(** The transport seam between protocol code and whatever moves the
+    messages.
+
+    A party is driven entirely through one {!endpoint}: it learns the
+    local clock from [now], emits through [send_all], arms wake-ups with
+    [set_timer], and receives deliveries and timer fires through the
+    handler it installs with [set_handler]. Nothing in [lib/maaa],
+    [lib/broadcast] or [lib/baselines] may assume what sits behind the
+    record — today it is either the discrete-event simulator
+    ([Engine.endpoint]) or the simulator driving the loopback TCP wire
+    of [lib/net] ([lib/net] plugs in {e below} the engine, so the same
+    endpoint serves both backends).
+
+    Time is an abstract integer tick count; each backend defines its
+    own clock (simulator ticks today). Channels are authenticated: a
+    delivered message carries its true sender. *)
+
+type 'msg event =
+  | Deliver of { src : int; msg : 'msg }
+  | Timer of int  (** protocol-chosen tag *)
+
+type 'msg endpoint = {
+  me : int;  (** this party's identity, [0 .. n-1] *)
+  n : int;  (** number of parties *)
+  now : unit -> int;  (** local clock, in backend ticks *)
+  send_all : 'msg -> unit;  (** broadcast to every party, including self *)
+  set_timer : at:int -> tag:int -> unit;
+      (** wake the handler with [Timer tag] at absolute tick [at] *)
+  register_flush : (final:bool -> unit) -> unit;
+      (** register an end-of-tick flush hook (the batched message
+          layer's seam). The backend runs every registered hook once
+          per tick value just before time advances; it additionally
+          runs them with [final = true] when the whole run is about to
+          go quiescent, so a hook that coalesces across ticks can emit
+          what it still holds instead of losing it. *)
+  set_handler : ('msg event -> unit) -> unit;
+      (** install (or replace) the event handler *)
+}

@@ -65,7 +65,8 @@ echo "== soak CLI validation (one-line errors, exit 2) =="
 for bad in "--cases 0" "--cases x" "--domains 0" "--seed banana" \
     "--mutant bogus" "--wall -1" "--resume" "--inject-stuck 99 --cases 5" \
     "--message-layer bogus" "--protocol bogus" "--message-layer" \
-    "--protocol" "--update-kernel bogus" "--update-kernel"; do
+    "--protocol" "--update-kernel bogus" "--update-kernel" \
+    "--transport bogus" "--transport"; do
   rc=0
   dune exec bin/soak_main.exe -- $bad --out /dev/null >/dev/null 2>&1 || rc=$?
   if [ "$rc" -ne 2 ]; then
@@ -79,6 +80,31 @@ sh scripts/soak_resume.sh
 
 echo "== msgs-check (pinned per-class message counts) =="
 dune exec bin/msgs_check.exe
+
+echo "== net-check (sim-as-oracle differential grid) =="
+# every pinned case on sim, loopback TCP, and TCP under frame chaos:
+# results must be identical and the chaos monitors clean (exit 1 if not)
+dune exec bin/net_check_main.exe
+
+echo "== serve/net_check CLI validation (one-line errors, exit 2) =="
+# the socket end-to-end path (handshake, sim + net answers) is covered
+# by test_net.ml under `dune runtest` above; here we pin the front
+# door's argument validation contract
+for bad in "--port x" "--port 99999" "--port" "--host" "--domains 0" \
+    "--max-conns 0" "--max-conns" "--bogus"; do
+  rc=0
+  dune exec bin/serve_main.exe -- $bad >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "ci: serve '$bad' should exit 2, got $rc" >&2
+    exit 1
+  fi
+done
+rc=0
+dune exec bin/net_check_main.exe -- --bogus >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "ci: net_check '--bogus' should exit 2, got $rc" >&2
+  exit 1
+fi
 
 echo "== bench smoke run =="
 dune exec bench/main.exe -- --smoke --json _build/BENCH_smoke.json

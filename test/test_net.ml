@@ -1,0 +1,455 @@
+(* The networked runtime: frame codec hardening (fuzz + property),
+   perfect-link state machines against a fake clock, sim-as-oracle
+   differential smoke, frame-chaos masking, and kill/reconnect replay.
+   The heavyweight exhaustive differential grid lives in
+   bin/net_check_main.exe (make net-check); here we pin the mechanisms
+   and run a cheap slice of the grid so `dune runtest` covers the
+   stack end to end. *)
+
+let key_a = Auth.of_master 0x5EED_0001L
+let keys_of_master master ~src:_ ~dst:_ = Auth.of_master master
+let key_of = keys_of_master 0x5EED_0001L
+
+let frame ?(ftype = Wire.Data) ?(src = 0) ?(dst = 1) ?(seq = 7L) ?(ack = 3L)
+    payload =
+  { Wire.ftype; src; dst; seq; ack; payload = Bytes.of_string payload }
+
+let frame_eq (a : Wire.frame) (b : Wire.frame) =
+  a.Wire.ftype = b.Wire.ftype && a.src = b.src && a.dst = b.dst
+  && a.seq = b.seq && a.ack = b.ack
+  && Bytes.equal a.payload b.payload
+
+(* -- codec: roundtrip and rejection ------------------------------------ *)
+
+let gen_frame =
+  QCheck.Gen.(
+    let* ft = oneofl [ Wire.Hello; Wire.Data; Wire.Ack ] in
+    let* src = int_range 0 7 in
+    let* dst = int_range 0 7 in
+    let* seq = map Int64.of_int (int_range 0 1_000_000) in
+    let* ack = map Int64.of_int (int_range 0 1_000_000) in
+    let* payload = string_size (int_range 0 2048) in
+    return (frame ~ftype:ft ~src ~dst ~seq ~ack payload))
+
+let arb_frame = QCheck.make gen_frame
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"encode/decode roundtrip" ~count:300 arb_frame
+    (fun f ->
+      match Wire.decode_exact ~n:8 ~key_of (Wire.encode ~key:key_a f) with
+      | Ok g -> frame_eq f g
+      | Error _ -> false)
+
+let prop_bit_flip =
+  QCheck.Test.make ~name:"any single flipped bit is rejected" ~count:300
+    QCheck.(pair arb_frame (int_bound 100_000))
+    (fun (f, r) ->
+      let b = Wire.encode ~key:key_a f in
+      let bit = r mod (8 * Bytes.length b) in
+      let i = bit / 8 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit mod 8))));
+      match Wire.decode_exact ~n:8 ~key_of b with
+      | Ok _ -> false
+      | Error _ -> true)
+
+let prop_garbage =
+  QCheck.Test.make ~name:"random bytes never crash the decoder" ~count:500
+    QCheck.(string_of_size Gen.(int_range 0 4096))
+    (fun s ->
+      let d = Wire.decoder ~n:8 ~key_of in
+      Wire.feed d (Bytes.of_string s) ~off:0 ~len:(String.length s);
+      (* drain until the decoder wants more bytes or poisons the
+         stream; any outcome except an escaping exception passes *)
+      let rec drain () =
+        match Wire.next d with
+        | Ok (Some _) -> drain ()
+        | Ok None | Error _ -> true
+      in
+      drain ())
+
+let test_torn_tails () =
+  let b = Wire.encode ~key:key_a (frame "torn-tail payload") in
+  for len = 0 to Bytes.length b - 1 do
+    (* exact decode: a truncated buffer is a structured Short_frame *)
+    (match Wire.decode_exact ~n:8 ~key_of (Bytes.sub b 0 len) with
+    | Error Wire.Short_frame -> ()
+    | Ok _ -> Alcotest.failf "prefix %d decoded" len
+    | Error e ->
+        Alcotest.failf "prefix %d: %s" len (Format.asprintf "%a" Wire.pp_error e));
+    (* incremental decode: a torn tail just waits for more bytes *)
+    let d = Wire.decoder ~n:8 ~key_of in
+    Wire.feed d b ~off:0 ~len;
+    match Wire.next d with
+    | Ok None -> ()
+    | Ok (Some _) -> Alcotest.failf "incremental prefix %d decoded" len
+    | Error e ->
+        Alcotest.failf "incremental prefix %d: %s" len
+          (Format.asprintf "%a" Wire.pp_error e)
+  done
+
+let test_oversize () =
+  let b = Wire.encode ~key:key_a (frame "x") in
+  (* length field lives at bytes 5..8 (magic·ver·type·src·dst first) *)
+  for i = 5 to 8 do
+    Bytes.set b i '\xff'
+  done;
+  match Wire.decode_exact ~n:8 ~key_of b with
+  | Error (Wire.Oversize _) -> ()
+  | Ok _ -> Alcotest.fail "oversize length accepted"
+  | Error e ->
+      Alcotest.failf "expected Oversize, got %s"
+        (Format.asprintf "%a" Wire.pp_error e)
+
+let test_bad_mac () =
+  let b = Wire.encode ~key:key_a (frame "macced") in
+  match Wire.decode_exact ~n:8 ~key_of:(keys_of_master 0xBAD_0002L) b with
+  | Error Wire.Bad_mac -> ()
+  | Ok _ -> Alcotest.fail "wrong-key frame accepted"
+  | Error e ->
+      Alcotest.failf "expected Bad_mac, got %s"
+        (Format.asprintf "%a" Wire.pp_error e)
+
+let test_bad_magic () =
+  let b = Wire.encode ~key:key_a (frame "m") in
+  Bytes.set b 0 '\x00';
+  match Wire.decode_exact ~n:8 ~key_of b with
+  | Error (Wire.Bad_magic _) -> ()
+  | _ -> Alcotest.fail "expected Bad_magic"
+
+let test_chunked_stream () =
+  let frames =
+    [ frame ~seq:1L "alpha"; frame ~ftype:Wire.Ack ~seq:0L ~ack:9L "";
+      frame ~seq:2L (String.make 600 'z') ]
+  in
+  let stream =
+    Bytes.concat Bytes.empty (List.map (Wire.encode ~key:key_a) frames)
+  in
+  let d = Wire.decoder ~n:8 ~key_of in
+  let got = ref [] in
+  (* worst-case framing: the stream arrives one byte at a time *)
+  for i = 0 to Bytes.length stream - 1 do
+    Wire.feed d stream ~off:i ~len:1;
+    let rec drain () =
+      match Wire.next d with
+      | Ok (Some f) ->
+          got := f :: !got;
+          drain ()
+      | Ok None -> ()
+      | Error e ->
+          Alcotest.failf "decode error: %s" (Format.asprintf "%a" Wire.pp_error e)
+    in
+    drain ()
+  done;
+  let got = List.rev !got in
+  Alcotest.(check int) "all frames recovered" (List.length frames)
+    (List.length got);
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "frame equal" true (frame_eq a b))
+    frames got
+
+(* -- perfect link against a fake clock --------------------------------- *)
+
+let mk_sender ?window ?(rto0 = 8) ?(rto_max = 32) () =
+  Link.sender ?window ~rto0 ~rto_max ~rng:(Rng.create 99L) ()
+
+(* Collect the ticks at which [seq] is (re)transmitted, scanning the
+   fake clock one tick at a time. *)
+let fire_times s ~upto =
+  let fires = ref [] in
+  for t = 0 to upto do
+    List.iter (fun (seq, _) -> fires := (t, seq) :: !fires) (Link.due s ~now:t)
+  done;
+  List.rev !fires
+
+let test_exact_schedule () =
+  (* rto0=1, rto_max=2 keeps every rto below the jitter threshold (4),
+     so the schedule is exact: fire at 0, then gaps 1, 2, 2, 2, ... *)
+  let s = Link.sender ~rto0:1 ~rto_max:2 ~rng:(Rng.create 5L) () in
+  (match Link.submit s ~now:0 (Bytes.of_string "p") with
+  | `Accepted 1 -> ()
+  | _ -> Alcotest.fail "first submit should be seq 1");
+  let fires = List.map fst (fire_times s ~upto:12) in
+  Alcotest.(check (list int)) "exact retransmit schedule"
+    [ 0; 1; 3; 5; 7; 9; 11 ] fires;
+  Alcotest.(check int) "retransmit count excludes first tx" 6
+    (Link.retransmits s)
+
+let test_backoff_bounds () =
+  (* with jitter active the gaps must stay in [rto_k, rto_k + rto_k/4],
+     rto doubling from rto0 and capping at rto_max *)
+  let s = mk_sender ~rto0:8 ~rto_max:32 () in
+  ignore (Link.submit s ~now:0 (Bytes.of_string "p"));
+  let fires = List.map fst (fire_times s ~upto:400) in
+  Alcotest.(check bool) "enough fires observed" true (List.length fires >= 6);
+  let rec gaps = function
+    | a :: (b :: _ as rest) -> (b - a) :: gaps rest
+    | _ -> []
+  in
+  List.iteri
+    (fun k gap ->
+      let rto = min (8 * (1 lsl k)) 32 in
+      if gap < rto || gap > rto + (rto / 4) then
+        Alcotest.failf "gap %d (retransmission %d) outside [%d, %d]" gap
+          (k + 1) rto
+          (rto + (rto / 4)))
+    (gaps fires)
+
+let test_ack_cancels () =
+  let s = mk_sender () in
+  List.iter
+    (fun p -> ignore (Link.submit s ~now:0 (Bytes.of_string p)))
+    [ "a"; "b"; "c" ];
+  Alcotest.(check int) "three harvested" 3 (List.length (Link.due s ~now:0));
+  Alcotest.(check int) "cumulative ack frees two" 2 (Link.on_ack s ~ack:2);
+  Alcotest.(check int) "one left in flight" 1 (Link.in_flight s);
+  (* far in the future only seq 3's timer is still armed *)
+  Alcotest.(check (list int)) "only unacked entry retransmits" [ 3 ]
+    (List.map fst (Link.due s ~now:1000));
+  Alcotest.(check int) "re-acking is idempotent" 0 (Link.on_ack s ~ack:2)
+
+let test_backpressure () =
+  let s = mk_sender ~window:2 () in
+  ignore (Link.submit s ~now:0 (Bytes.of_string "a"));
+  ignore (Link.submit s ~now:0 (Bytes.of_string "b"));
+  (match Link.submit s ~now:0 (Bytes.of_string "c") with
+  | `Backpressure -> ()
+  | `Accepted _ -> Alcotest.fail "window overrun accepted");
+  ignore (Link.on_ack s ~ack:1);
+  match Link.submit s ~now:0 (Bytes.of_string "c") with
+  | `Accepted 3 -> ()
+  | `Accepted n -> Alcotest.failf "freed slot got seq %d" n
+  | `Backpressure -> Alcotest.fail "freed slot still backpressured"
+
+let test_mark_replay () =
+  let s = mk_sender ~rto0:8 ~rto_max:32 () in
+  ignore (Link.submit s ~now:0 (Bytes.of_string "a"));
+  ignore (Link.submit s ~now:0 (Bytes.of_string "b"));
+  ignore (Link.due s ~now:0);
+  Alcotest.(check (list int)) "timers armed, nothing due yet" []
+    (List.map fst (Link.due s ~now:1));
+  (* reconnect: the whole unacked backlog replays immediately *)
+  Link.mark_replay s;
+  Alcotest.(check (list int)) "backlog due at once" [ 1; 2 ]
+    (List.map fst (Link.due s ~now:1))
+
+let test_receiver_order_dedup () =
+  let r = Link.receiver () in
+  let p s = Bytes.of_string s in
+  Alcotest.(check int) "early arrival buffered" 0
+    (List.length (Link.on_data r ~seq:2 (p "two")));
+  Alcotest.(check (list string)) "in-order drain" [ "one"; "two" ]
+    (List.map Bytes.to_string (Link.on_data r ~seq:1 (p "one")));
+  Alcotest.(check int) "cumulative ack" 2 (Link.cumulative_ack r);
+  Alcotest.(check int) "replay suppressed" 0
+    (List.length (Link.on_data r ~seq:1 (p "one")));
+  Alcotest.(check int) "replay counted" 1 (Link.duplicates r);
+  Alcotest.(check int) "ack unchanged by replay" 2 (Link.cumulative_ack r)
+
+let test_receiver_window () =
+  let r = Link.receiver ~window:4 () in
+  Alcotest.(check int) "beyond reorder window: dropped" 0
+    (List.length (Link.on_data r ~seq:6 (Bytes.of_string "far")));
+  Alcotest.(check int) "within window: buffered" 0
+    (List.length (Link.on_data r ~seq:4 (Bytes.of_string "four")));
+  Alcotest.(check int) "no dup counted for the drop" 0 (Link.duplicates r)
+
+(* -- sim-as-oracle slice + chaos masking ------------------------------- *)
+
+let grid_case name =
+  match
+    List.find_opt
+      (fun s -> s.Scenario.name = name)
+      (Differential.pinned_grid ())
+  with
+  | Some s -> s
+  | None -> Alcotest.failf "pinned grid lost case %s" name
+
+let check_verdict name =
+  let v = Differential.run_case (grid_case name) in
+  Alcotest.(check bool)
+    (name ^ ": net run identical to sim oracle")
+    true v.Differential.net_ok;
+  Alcotest.(check bool)
+    (name ^ ": chaos fully masked")
+    true v.Differential.chaos_ok;
+  Alcotest.(check bool) (name ^ ": monitor clean") true
+    v.Differential.monitor_clean;
+  Alcotest.(check bool)
+    (name ^ ": no logical loss")
+    true
+    Netrun.(
+      v.Differential.chaos_wire.logical_sent
+      = v.Differential.chaos_wire.logical_delivered)
+
+let test_differential_slice () =
+  check_verdict "diff-d1-n4-sync-lockstep-clean";
+  check_verdict "diff-d2-n4-sync-lockstep-silent"
+
+(* -- kill/reconnect replay --------------------------------------------- *)
+
+let reconnect_cfg = lazy (Config.make_exn ~n:4 ~ts:1 ~ta:0 ~d:2 ~eps:0.05 ~delta:4)
+
+let reconnect_engine () =
+  Engine.create ~seed:42L ~size_of:Message.size_of ~n:4
+    ~policy:(Network.lockstep ~delta:4) ()
+
+let reconnect_setup engine =
+  let cfg = Lazy.force reconnect_cfg in
+  let parties = List.init 4 (fun i -> Party.attach ~cfg ~me:i engine) in
+  List.iteri
+    (fun i p ->
+      Party.start p (Vec.of_list [ float_of_int i; float_of_int (i mod 2) ]))
+    parties;
+  parties
+
+let outcome engine parties =
+  (List.map Party.output parties, Engine.stats engine)
+
+let test_kill_reconnect () =
+  (* sim oracle *)
+  let e0 = reconnect_engine () in
+  let p0 = reconnect_setup e0 in
+  Engine.run e0;
+  let reference = outcome e0 p0 in
+  (* net arm: kill two connections mid-protocol; the supervisor must
+     re-dial and both directions must replay their unacked backlog.
+     pump_budget is the wall watchdog — a wedged wire raises a
+     structured Failure instead of hanging the test. *)
+  let e1 = reconnect_engine () in
+  let nr = Netrun.attach ~rto0:4 ~pump_budget:30. e1 in
+  Fun.protect ~finally:(fun () -> Netrun.close nr) @@ fun () ->
+  let p1 = reconnect_setup e1 in
+  Engine.run ~until:6 e1;
+  Netrun.kill_connection nr ~a:0 ~b:1;
+  Netrun.kill_connection nr ~a:0 ~b:2;
+  Engine.run e1;
+  let s = Netrun.stats nr in
+  Alcotest.(check bool) "byte-identical to the sim oracle" true
+    (outcome e1 p1 = reference);
+  Alcotest.(check bool) "both kills re-established" true
+    (s.Netrun.reconnects >= 2);
+  Alcotest.(check bool) "no logical loss across reconnect" true
+    Netrun.(s.logical_sent = s.logical_delivered)
+
+(* -- the front door ----------------------------------------------------- *)
+
+let good_line =
+  "agree v=1 d=1 eps=0.1 delta=4 ts=1 ta=0 inputs=0;1;0.5;0.25"
+
+let test_parse_request () =
+  (match Serve.parse_request good_line with
+  | Ok r ->
+      Alcotest.(check int) "d" 1 r.Serve.d;
+      Alcotest.(check int) "n from inputs" 4 (List.length r.Serve.inputs);
+      Alcotest.(check bool) "default transport sim" true (r.Serve.transport = `Sim)
+  | Error e -> Alcotest.failf "good line rejected: %s" e);
+  let is_err line =
+    match Serve.parse_request line with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "bad version" true (is_err "agree v=2 d=1 eps=0.1 delta=4 ts=1 ta=0 inputs=0;1");
+  Alcotest.(check bool) "missing field" true (is_err "agree v=1 d=1 eps=0.1 delta=4 ts=1 inputs=0;1");
+  Alcotest.(check bool) "bad float" true (is_err "agree v=1 d=1 eps=x delta=4 ts=1 ta=0 inputs=0;1");
+  Alcotest.(check bool) "dim mismatch" true (is_err "agree v=1 d=2 eps=0.1 delta=4 ts=1 ta=0 inputs=0;1");
+  Alcotest.(check bool) "bad transport" true
+    (is_err "agree v=1 d=1 eps=0.1 delta=4 ts=1 ta=0 transport=udp inputs=0;1");
+  Alcotest.(check bool) "unknown verb" true (is_err "decide v=1 d=1");
+  Alcotest.(check bool) "crlf tolerated" true
+    (match Serve.parse_request (good_line ^ "\r") with Ok _ -> true | Error _ -> false)
+
+let test_handle_batch () =
+  let resps =
+    Serve.handle_batch
+      [ good_line; "agree v=1 d=1 eps=0.1 delta=4 ts=9 ta=9 inputs=0;1";
+        good_line ]
+  in
+  Alcotest.(check int) "one response per request" 3 (List.length resps);
+  (match resps with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "first ok" true (String.length a > 2 && String.sub a 0 2 = "ok");
+      Alcotest.(check bool) "infeasible answers err in place" true
+        (String.length b > 3 && String.sub b 0 3 = "err");
+      Alcotest.(check string) "identical requests, identical answers" a c
+  | _ -> assert false)
+
+let test_serve_e2e () =
+  let port = Atomic.make 0 in
+  let server =
+    Domain.spawn (fun () ->
+        Serve.serve ~domains:1 ~max_conns:1
+          ~announce:(fun p -> Atomic.set port p)
+          ~port:0 ())
+  in
+  let rec wait_port n =
+    if Atomic.get port <> 0 then Atomic.get port
+    else if n = 0 then Alcotest.fail "server never announced a port"
+    else begin
+      Unix.sleepf 0.01;
+      wait_port (n - 1)
+    end
+  in
+  let p = wait_port 500 in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, p));
+  let oc = Unix.out_channel_of_descr fd in
+  let ic = Unix.in_channel_of_descr fd in
+  (* one sim request and the same agreement over the real TCP backend:
+     the front door must answer both, and identically *)
+  output_string oc (good_line ^ "\n");
+  output_string oc
+    "agree v=1 d=1 eps=0.1 delta=4 ts=1 ta=0 transport=net \
+     inputs=0;1;0.5;0.25\n";
+  flush oc;
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  let r1 = input_line ic in
+  let r2 = input_line ic in
+  Domain.join server;
+  Alcotest.(check bool) "sim answer ok" true (String.sub r1 0 2 = "ok");
+  Alcotest.(check string) "net backend answers byte-identically" r1 r2
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "wire codec",
+        [
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+          QCheck_alcotest.to_alcotest prop_bit_flip;
+          QCheck_alcotest.to_alcotest prop_garbage;
+          Alcotest.test_case "torn tails wait or Short_frame" `Quick
+            test_torn_tails;
+          Alcotest.test_case "oversized length prefix" `Quick test_oversize;
+          Alcotest.test_case "MAC mismatch" `Quick test_bad_mac;
+          Alcotest.test_case "bad magic" `Quick test_bad_magic;
+          Alcotest.test_case "byte-at-a-time stream" `Quick test_chunked_stream;
+        ] );
+      ( "perfect link",
+        [
+          Alcotest.test_case "exact retransmit schedule" `Quick
+            test_exact_schedule;
+          Alcotest.test_case "backoff doubling, cap, jitter bounds" `Quick
+            test_backoff_bounds;
+          Alcotest.test_case "cumulative ack cancels timers" `Quick
+            test_ack_cancels;
+          Alcotest.test_case "window backpressure" `Quick test_backpressure;
+          Alcotest.test_case "replay on reconnect" `Quick test_mark_replay;
+          Alcotest.test_case "receiver order + dedup" `Quick
+            test_receiver_order_dedup;
+          Alcotest.test_case "receiver reorder window" `Quick
+            test_receiver_window;
+        ] );
+      ( "sim as oracle",
+        [
+          Alcotest.test_case "differential slice + chaos mask" `Slow
+            test_differential_slice;
+          Alcotest.test_case "kill two connections mid-run" `Slow
+            test_kill_reconnect;
+        ] );
+      ( "front door",
+        [
+          Alcotest.test_case "request parsing" `Quick test_parse_request;
+          Alcotest.test_case "batch core ordering" `Quick test_handle_batch;
+          Alcotest.test_case "socket end-to-end (sim + net)" `Slow
+            test_serve_e2e;
+        ] );
+    ]
