@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json ci par-check soak soak-smoke soak-resume msgs-check net-check serve clean
+.PHONY: all build test bench bench-json ci par-check soak soak-smoke soak-resume msgs-check net-check multi-check serve serve-smoke clean
 
 all: build
 
@@ -84,6 +84,19 @@ msgs-check:
 # monitor must record zero violations. Exit 1 on any mismatch.
 net-check:
 	dune exec bin/net_check_main.exe
+
+# Multiplexed-engine differential gate: the full k-instances x D x
+# sync/async x corruption grid, every multiplexed run required to be
+# byte-identical to its sequential references (results, stats, traffic,
+# traces, monitor summaries). Exit 1 with one line per mismatch.
+multi-check:
+	dune exec bin/multi_check_main.exe
+
+# Serve-throughput visibility: push N requests through the batch core
+# (no sockets) and print requests/sec. Measured, not gated; any failed
+# request exits non-zero.
+serve-smoke:
+	dune exec bin/serve_main.exe -- --throughput-smoke 64
 
 # The agreement front door: a line-oriented TCP service that batches
 # client agreement requests per connection and multiplexes them over

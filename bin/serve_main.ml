@@ -24,8 +24,12 @@ let () =
   let host = ref "127.0.0.1" in
   let domains = ref 1 in
   let max_conns = ref None in
+  let smoke = ref None in
   let rec parse = function
     | [] -> ()
+    | "--throughput-smoke" :: v :: rest ->
+        smoke := Some (pos_int ~flag:"--throughput-smoke" v);
+        parse rest
     | "--port" :: v :: rest -> (
         match int_of_string_opt v with
         | Some p when p >= 0 && p <= 65535 ->
@@ -46,16 +50,27 @@ let () =
         max_conns := Some (pos_int ~flag:"--max-conns" v);
         parse rest
     | [ flag ]
-      when List.mem flag [ "--port"; "--host"; "--domains"; "--max-conns" ] ->
+      when List.mem flag
+             [
+               "--port"; "--host"; "--domains"; "--max-conns";
+               "--throughput-smoke";
+             ] ->
         die "%s expects a value" flag
     | flag :: _ ->
         die
           "unknown argument %S (usage: serve.exe [--port N] [--host ADDR] \
-           [--domains N] [--max-conns N])"
+           [--domains N] [--max-conns N] [--throughput-smoke N])"
           flag
   in
   parse (List.tl (Array.to_list Sys.argv));
-  try Serve.serve ~host:!host ~domains:!domains ?max_conns:!max_conns
-        ~port:!port ()
-  with Unix.Unix_error (e, fn, _) ->
-    die "%s failed: %s" fn (Unix.error_message e)
+  match !smoke with
+  | Some n ->
+      (* measured, printed, not gated: serve-throughput visibility *)
+      let rps = Serve.throughput_smoke ~domains:!domains n in
+      Printf.printf "throughput-smoke: %d requests, %.0f requests/sec\n%!" n rps
+  | None -> (
+      try
+        Serve.serve ~host:!host ~domains:!domains ?max_conns:!max_conns
+          ~port:!port ()
+      with Unix.Unix_error (e, fn, _) ->
+        die "%s failed: %s" fn (Unix.error_message e))

@@ -21,8 +21,8 @@ type t = {
   n : int;
   thr : int;
   iters : int;
-  me : int;
-  engine : Message.t Engine.t;
+  now : unit -> int;
+  send_all : Message.t -> unit;
   cbs : callbacks;
   states : (int, iter_state) Hashtbl.t;
   history : (int, Vec.t) Hashtbl.t;
@@ -58,7 +58,7 @@ let state t it =
       s
 
 let broadcast_value t it v =
-  Engine.broadcast t.engine ~src:t.me (Message.Ew_value { iter = it; value = v })
+  t.send_all (Message.Ew_value { instance = 0; iter = it; value = v })
 
 let rec step t =
   if t.output = None then begin
@@ -66,8 +66,9 @@ let rec step t =
     let s = state t it in
     if (not s.sent_report) && Pairset.cardinal s.m >= t.n - t.thr then begin
       s.sent_report <- true;
-      Engine.broadcast t.engine ~src:t.me
-        (Message.Ew_report { iter = it; pairs = Pairset.bindings s.m })
+      t.send_all
+        (Message.Ew_report
+           { instance = 0; iter = it; pairs = Pairset.bindings s.m })
     end;
     let validated, rest =
       IntMap.partition
@@ -87,7 +88,7 @@ let rec step t =
           t.cbs.on_iteration ~iter:it v;
           if it >= t.iters then begin
             t.output <- Some v;
-            t.output_time <- Some (Engine.now t.engine);
+            t.output_time <- Some (t.now ());
             t.cbs.on_output ~iter:it v
           end
           else begin
@@ -109,13 +110,15 @@ let valid_party t p = p >= 0 && p < t.n
    wins and duplicates (chaos-layer re-deliveries included) are no-ops. *)
 let handle t ev =
   match ev with
-  | Engine.Deliver { src; msg = Message.Ew_value { iter = it; value = v } } ->
+  | Transport.Deliver
+      { src; msg = Message.Ew_value { iter = it; value = v; _ } } ->
       if valid_party t src && it >= 1 then begin
         let s = state t it in
         s.m <- Pairset.add ~party:src v s.m;
         if it = t.iter then step t
       end
-  | Engine.Deliver { src; msg = Message.Ew_report { iter = it; pairs } } ->
+  | Transport.Deliver { src; msg = Message.Ew_report { iter = it; pairs; _ } }
+    ->
       if valid_party t src && it >= 1 then begin
         let s = state t it in
         if not (IntSet.mem src s.seen_report) then begin
@@ -130,16 +133,17 @@ let handle t ev =
           if it = t.iter then step t
         end
       end
-  | Engine.Deliver _ | Engine.Timer _ -> ()
+  | Transport.Deliver _ | Transport.Timer _ -> ()
 
-let attach ?(callbacks = no_callbacks) ~n ~t:thr ~iters ~me engine =
+let attach_endpoint ?(callbacks = no_callbacks) ~t:thr ~iters
+    (ep : Message.t Transport.endpoint) =
   let t =
     {
-      n;
+      n = ep.n;
       thr;
       iters;
-      me;
-      engine;
+      now = ep.now;
+      send_all = ep.send_all;
       cbs = callbacks;
       states = Hashtbl.create 16;
       history = Hashtbl.create 16;
@@ -149,8 +153,13 @@ let attach ?(callbacks = no_callbacks) ~n ~t:thr ~iters ~me engine =
       output_time = None;
     }
   in
-  Engine.set_party engine me (handle t);
+  ep.set_handler (handle t);
   t
+
+let attach ?callbacks ~n ~t:thr ~iters ~me engine =
+  let ep = Engine.endpoint engine ~me in
+  if ep.n <> n then invalid_arg "Ew_aa.attach: n mismatch";
+  attach_endpoint ?callbacks ~t:thr ~iters ep
 
 let start t v =
   t.value <- Some v;
@@ -158,7 +167,7 @@ let start t v =
   t.cbs.on_iteration ~iter:0 v;
   if t.iters = 0 then begin
     t.output <- Some v;
-    t.output_time <- Some (Engine.now t.engine);
+    t.output_time <- Some (t.now ());
     t.cbs.on_output ~iter:0 v
   end
   else broadcast_value t 1 v

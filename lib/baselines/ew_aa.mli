@@ -41,7 +41,18 @@ val attach :
   me:int ->
   Message.t Engine.t ->
   t
-(** Correct against [t < n/(D+2)] corruptions, any network. *)
+(** Correct against [t < n/(D+2)] corruptions, any network. Convenience
+    wrapper over {!attach_endpoint} with the simulator's endpoint. *)
+
+val attach_endpoint :
+  ?callbacks:callbacks ->
+  t:int ->
+  iters:int ->
+  Message.t Transport.endpoint ->
+  t
+(** Attach onto an arbitrary transport endpoint ([n] comes from the
+    endpoint). This is what lets the multi-instance engine host EW
+    instances alongside ΠAA ones. *)
 
 val start : t -> Vec.t -> unit
 val output : t -> Vec.t option

@@ -75,7 +75,8 @@ module Reference = struct
       then begin
         t.sent_report <- true;
         t.cb.send_all
-          (Message.Obc_report { iter = t.iter; pairs = Pairset.bindings t.m })
+          (Message.Obc_report
+             { instance = 0; iter = t.iter; pairs = Pairset.bindings t.m })
       end;
       recheck_pending t;
       let witness_ok =
@@ -214,7 +215,8 @@ let fast_try_fire t =
     then begin
       t.sent_report <- true;
       t.cb.send_all
-        (Message.Obc_report { iter = t.iter; pairs = fast_bindings t })
+        (Message.Obc_report
+           { instance = 0; iter = t.iter; pairs = fast_bindings t })
     end;
     fast_recheck_pending t;
     let witness_ok =

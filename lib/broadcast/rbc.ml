@@ -132,7 +132,7 @@ let tag_code = function
   | Message.Async_report it -> 5 + (4 * it)
 
 let id_equal (a : Message.rbc_id) (b : Message.rbc_id) =
-  a.origin = b.origin
+  a.origin = b.origin && a.instance = b.instance
   &&
   match (a.tag, b.tag) with
   | Message.Init_value, Message.Init_value
@@ -151,7 +151,9 @@ module IdTbl = Hashtbl.Make (struct
   let equal = id_equal
 
   let hash (id : Message.rbc_id) =
-    ((tag_code id.tag * 0x01000193) lxor id.origin) land max_int
+    ((((tag_code id.tag * 0x01000193) lxor id.origin) * 0x01000193)
+    lxor id.instance)
+    land max_int
 end)
 
 (* One slot per distinct payload an instance has seen votes for; honest

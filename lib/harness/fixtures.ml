@@ -1,6 +1,6 @@
 type rbc_obs = { rbc_deliveries : (int * Message.payload * int) list }
 
-let rbc_id origin = { Message.tag = Message.Init_value; origin }
+let rbc_id origin = { Message.tag = Message.Init_value; origin; instance = 0 }
 
 let run_rbc ?(seed = 1L) ?impl ~n ~t ~policy ~honest ~sender () =
   let engine = Engine.create ~seed ~n ~policy () in
@@ -76,7 +76,7 @@ let run_obc ?(seed = 1L) ?(witnessing = true) ?(start_delays = []) ~n ~ts
               rbc_broadcast =
                 (fun payload ->
                   Rbc.broadcast rbc
-                    { Message.tag = Message.Obc_value 1; origin = i }
+                    { Message.tag = Message.Obc_value 1; origin = i; instance = 0 }
                     payload);
               send_all = (fun msg -> Engine.broadcast engine ~src:i msg);
               output =
@@ -98,7 +98,7 @@ let run_obc ?(seed = 1L) ?(witnessing = true) ?(start_delays = []) ~n ~ts
             match ev with
             | Engine.Deliver { src; msg = Message.Rbc (id, step, payload) } ->
                 Rbc.on_message rbc ~from:src id step payload
-            | Engine.Deliver { src; msg = Message.Obc_report { iter = 1; pairs } }
+            | Engine.Deliver { src; msg = Message.Obc_report { iter = 1; pairs; _ } }
               ->
                 Obc.on_report obc ~from:src pairs
             | Engine.Timer 1 -> start ()
@@ -148,7 +148,7 @@ let run_init ?(seed = 1L) ?(double_witnessing = true) ~n ~ts ~ta ~delta ~eps
               set_timer = (fun ~at -> Engine.set_timer engine ~party:i ~at ~tag:0);
               rbc_broadcast =
                 (fun tag payload ->
-                  Rbc.broadcast rbc { Message.tag; origin = i } payload);
+                  Rbc.broadcast rbc { Message.tag; origin = i; instance = 0 } payload);
               send_all = (fun msg -> Engine.broadcast engine ~src:i msg);
               output =
                 (fun tt v0 ->
@@ -161,7 +161,7 @@ let run_init ?(seed = 1L) ?(double_witnessing = true) ~n ~ts ~ta ~delta ~eps
             match ev with
             | Engine.Deliver { src; msg = Message.Rbc (id, step, payload) } ->
                 Rbc.on_message rbc ~from:src id step payload
-            | Engine.Deliver { src; msg = Message.Witness_set ws } ->
+            | Engine.Deliver { src; msg = Message.Witness_set { parties = ws; _ } } ->
                 Init_round.on_witness_set init ~from:src ws
             | Engine.Timer _ -> Init_round.poke init
             | Engine.Deliver _ -> ());

@@ -5,6 +5,20 @@ let termination_to_string = function
   | Timed_out -> "timed-out"
   | Budget_exhausted -> "budget-exhausted"
 
+(* Shared-cache efficacy, surfaced per run: the safe-area memo the run's
+   parties share, plus the payload-interning tables summed over the graded
+   parties. Under the multi-instance engine both may be shared with other
+   co-resident instances, so a multiplexed run reports the shared totals —
+   the number that actually explains its throughput. *)
+type cache_stats = {
+  safe_hits : int;
+  safe_misses : int;
+  safe_size : int;
+  intern_hits : int;
+  intern_misses : int;
+  intern_size : int;
+}
+
 type result = {
   scenario_name : string;
   termination : termination;
@@ -23,6 +37,7 @@ type result = {
   honest_inputs : Vec.t list;
   traffic : (string * int * int) list;
   monitor : Monitor.summary option;
+  caches : cache_stats;
   transport : [ `Sim | `Net ];
   wire : Netrun.wire_stats option;
       (* [Some] iff the run used the `Net transport *)
@@ -38,9 +53,147 @@ type attached = {
   a_output_time : unit -> int option;
   a_t_estimate : unit -> int option;
   a_history : unit -> (int * Vec.t) list;
+  a_intern : unit -> int * int * int;  (* (hits, misses, size); zeros for EW *)
 }
 
-let run ?(monitor = false) ?(fail_fast = false) (s : Scenario.t) =
+type hooks = (iter:int -> Vec.t -> unit) * (iter:int -> Vec.t -> unit)
+
+(* Attach the scenario's protocol onto an arbitrary endpoint — the one
+   seam both the sequential runner below and the multi-instance runner
+   build parties through, so a multiplexed party is configured exactly
+   like a dedicated-engine one. *)
+let attach_party ~(scenario : Scenario.t) ?hooks ?intern ~safe_cache ~ew_iters
+    (ep : Message.t Transport.endpoint) =
+  let s = scenario in
+  let cfg = s.Scenario.cfg in
+  match s.protocol with
+  | `Maaa ->
+      let callbacks =
+        match hooks with
+        | Some (on_iteration, on_output) -> { Party.on_iteration; on_output }
+        | None -> Party.no_callbacks
+      in
+      let p =
+        Party.attach_endpoint ~callbacks ?mutant:s.mutant ~mode:s.mode
+          ~message_layer:s.message_layer ~batch_window:s.batch_window
+          ~update_kernel:s.update_kernel ~safe_cache ?intern ~cfg ep
+      in
+      {
+        a_start = Party.start p;
+        a_output = (fun () -> Party.output p);
+        a_output_iter = (fun () -> Party.output_iteration p);
+        a_output_time = (fun () -> Party.output_time p);
+        a_t_estimate = (fun () -> Party.iteration_estimate p);
+        a_history = (fun () -> Party.value_history p);
+        a_intern = (fun () -> Party.intern_stats p);
+      }
+  | `Ew ->
+      let callbacks =
+        match hooks with
+        | Some (on_iteration, on_output) -> { Ew_aa.on_iteration; on_output }
+        | None -> Ew_aa.no_callbacks
+      in
+      let p =
+        Ew_aa.attach_endpoint ~callbacks ~t:cfg.Config.ta
+          ~iters:(Lazy.force ew_iters) ep
+      in
+      {
+        a_start = Ew_aa.start p;
+        a_output = (fun () -> Ew_aa.output p);
+        a_output_iter = (fun () -> Ew_aa.output_iteration p);
+        a_output_time = (fun () -> Ew_aa.output_time p);
+        a_t_estimate = (fun () -> None);
+        a_history = (fun () -> Ew_aa.value_history p);
+        a_intern = (fun () -> (0, 0, 0));
+      }
+
+(* The grading tail: everything a result reports that is computed from
+   the attached parties after the event loop stops. Factored out so the
+   multi-instance runner produces results through the identical code. *)
+let grade ~(scenario : Scenario.t) ~termination ~stats ~traffic ~monitor
+    ~safe_cache ~transport ~wire parties =
+  let s = scenario in
+  let cfg = s.Scenario.cfg in
+  let graded = Scenario.graded_honest s in
+  let honest_inputs = Scenario.honest_inputs s in
+  (* Adaptive chaos targets run the protocol but are graded as corrupt:
+     every reported metric below is over the still-honest parties. *)
+  let parties = List.filter (fun (i, _) -> List.mem i graded) parties in
+  let outputs =
+    List.filter_map
+      (fun (i, p) -> Option.map (fun v -> (i, v)) (p.a_output ()))
+      parties
+  in
+  let live = List.length outputs = List.length parties in
+  let valid =
+    outputs <> []
+    && List.for_all
+         (fun (_, v) -> Membership.in_hull ~eps:1e-6 honest_inputs v)
+         outputs
+  in
+  let diameter = Vec.diameter (List.map snd outputs) in
+  let agreement = live && diameter <= cfg.Config.eps +. 1e-9 in
+  let output_times =
+    List.filter_map
+      (fun (i, p) -> Option.map (fun t -> (i, t)) (p.a_output_time ()))
+      parties
+  in
+  let completion_rounds =
+    (* Δ-rounds to the last honest output; 0. (not a fold over nothing)
+       when no honest party output at all *)
+    match output_times with
+    | [] -> 0.
+    | times ->
+        List.fold_left (fun acc (_, t) -> Float.max acc (float_of_int t)) 0. times
+        /. float_of_int cfg.Config.delta
+  in
+  let caches =
+    let ih, im, isz =
+      List.fold_left
+        (fun (h, m, sz) (_, p) ->
+          let h', m', sz' = p.a_intern () in
+          (h + h', m + m', sz + sz'))
+        (0, 0, 0) parties
+    in
+    {
+      safe_hits = Safe_cache.hits safe_cache;
+      safe_misses = Safe_cache.misses safe_cache;
+      safe_size = Safe_cache.size safe_cache;
+      intern_hits = ih;
+      intern_misses = im;
+      intern_size = isz;
+    }
+  in
+  {
+    scenario_name = s.name;
+    termination;
+    live;
+    valid;
+    agreement;
+    diameter;
+    eps = cfg.Config.eps;
+    outputs;
+    output_iters =
+      List.filter_map
+        (fun (i, p) -> Option.map (fun it -> (i, it)) (p.a_output_iter ()))
+        parties;
+    output_times;
+    t_estimates =
+      List.filter_map
+        (fun (i, p) -> Option.map (fun t -> (i, t)) (p.a_t_estimate ()))
+        parties;
+    histories = List.map (fun (i, p) -> (i, p.a_history ())) parties;
+    completion_rounds;
+    stats;
+    honest_inputs;
+    traffic;
+    monitor;
+    caches;
+    transport;
+    wire;
+  }
+
+let run ?(monitor = false) ?(fail_fast = false) ?tracer (s : Scenario.t) =
   let cfg = s.Scenario.cfg in
   let policy =
     match s.chaos with
@@ -79,10 +232,16 @@ let run ?(monitor = false) ?(fail_fast = false) (s : Scenario.t) =
     else None
   in
   (* Traffic accounting rides the engine's send path (see {!Traffic});
-     the tracer is needed only when a monitor wants the event stream. *)
-  (match mon with
-  | None -> ()
-  | Some m -> Engine.set_tracer engine (fun ev -> Monitor.on_trace m ev));
+     the tracer is needed only when a monitor or an external observer
+     (the differential grid) wants the event stream. *)
+  (match (mon, tracer) with
+  | None, None -> ()
+  | Some m, None -> Engine.set_tracer engine (fun ev -> Monitor.on_trace m ev)
+  | None, Some f -> Engine.set_tracer engine f
+  | Some m, Some f ->
+      Engine.set_tracer engine (fun ev ->
+          Monitor.on_trace m ev;
+          f ev));
   (* Shared safe-area memo: scoped to this run (this engine), so pooled
      sweeps still share nothing across jobs. *)
   let safe_cache = Safe_cache.create () in
@@ -96,26 +255,6 @@ let run ?(monitor = false) ?(fail_fast = false) (s : Scenario.t) =
               Monitor.on_output m ~party:i ~now:(Engine.now engine) ~iter v )
     | _ -> None
   in
-  let attach_maaa i =
-    let callbacks =
-      match monitor_hooks i with
-      | Some (on_iteration, on_output) -> { Party.on_iteration; on_output }
-      | None -> Party.no_callbacks
-    in
-    let p =
-      Party.attach ~callbacks ?mutant:s.mutant ~message_layer:s.message_layer
-        ~batch_window:s.batch_window ~update_kernel:s.update_kernel ~safe_cache
-        ~cfg ~me:i engine
-    in
-    {
-      a_start = Party.start p;
-      a_output = (fun () -> Party.output p);
-      a_output_iter = (fun () -> Party.output_iteration p);
-      a_output_time = (fun () -> Party.output_time p);
-      a_t_estimate = (fun () -> Party.iteration_estimate p);
-      a_history = (fun () -> Party.value_history p);
-    }
-  in
   (* EW runs at the asynchronous trim level [ta] (its whole point is
      asynchronous resilience) and, like the rBC-based async baseline,
      takes its iteration count from the harness's estimate of the honest
@@ -124,27 +263,15 @@ let run ?(monitor = false) ?(fail_fast = false) (s : Scenario.t) =
     lazy
       (Baseline_runner.rounds_for ~eps:cfg.Config.eps ~inputs:honest_inputs)
   in
-  let attach_ew i =
-    let callbacks =
-      match monitor_hooks i with
-      | Some (on_iteration, on_output) -> { Ew_aa.on_iteration; on_output }
-      | None -> Ew_aa.no_callbacks
-    in
-    let p =
-      Ew_aa.attach ~callbacks ~n:cfg.Config.n ~t:cfg.Config.ta
-        ~iters:(Lazy.force ew_iters) ~me:i engine
-    in
-    {
-      a_start = Ew_aa.start p;
-      a_output = (fun () -> Ew_aa.output p);
-      a_output_iter = (fun () -> Ew_aa.output_iteration p);
-      a_output_time = (fun () -> Ew_aa.output_time p);
-      a_t_estimate = (fun () -> None);
-      a_history = (fun () -> Ew_aa.value_history p);
-    }
+  let parties =
+    List.map
+      (fun i ->
+        ( i,
+          attach_party ~scenario:s ?hooks:(monitor_hooks i) ~safe_cache
+            ~ew_iters
+            (Engine.endpoint engine ~me:i) ))
+      honest_ids
   in
-  let attach_one = match s.protocol with `Maaa -> attach_maaa | `Ew -> attach_ew in
-  let parties = List.map (fun i -> (i, attach_one i)) honest_ids in
   List.iter
     (fun (i, b) -> Behavior.install engine ~cfg ~me:i ~input:inputs.(i) b)
     s.corruptions;
@@ -174,64 +301,12 @@ let run ?(monitor = false) ?(fail_fast = false) (s : Scenario.t) =
     | `Cancelled -> Timed_out
     | `Quiescent | `Past_until -> Completed
   in
-  (* Adaptive chaos targets run the protocol but are graded as corrupt:
-     every reported metric below is over the still-honest parties. *)
-  let parties = List.filter (fun (i, _) -> List.mem i graded) parties in
-  let outputs =
-    List.filter_map
-      (fun (i, p) -> Option.map (fun v -> (i, v)) (p.a_output ()))
-      parties
-  in
-  let live = List.length outputs = List.length parties in
-  let valid =
-    outputs <> []
-    && List.for_all
-         (fun (_, v) -> Membership.in_hull ~eps:1e-6 honest_inputs v)
-         outputs
-  in
-  let diameter = Vec.diameter (List.map snd outputs) in
-  let agreement = live && diameter <= cfg.Config.eps +. 1e-9 in
-  let output_times =
-    List.filter_map
-      (fun (i, p) -> Option.map (fun t -> (i, t)) (p.a_output_time ()))
-      parties
-  in
-  let completion_rounds =
-    (* Δ-rounds to the last honest output; 0. (not a fold over nothing)
-       when no honest party output at all *)
-    match output_times with
-    | [] -> 0.
-    | times ->
-        List.fold_left (fun acc (_, t) -> Float.max acc (float_of_int t)) 0. times
-        /. float_of_int cfg.Config.delta
-  in
-  {
-    scenario_name = s.name;
-    termination;
-    live;
-    valid;
-    agreement;
-    diameter;
-    eps = cfg.Config.eps;
-    outputs;
-    output_iters =
-      List.filter_map
-        (fun (i, p) -> Option.map (fun it -> (i, it)) (p.a_output_iter ()))
-        parties;
-    output_times;
-    t_estimates =
-      List.filter_map
-        (fun (i, p) -> Option.map (fun t -> (i, t)) (p.a_t_estimate ()))
-        parties;
-    histories = List.map (fun (i, p) -> (i, p.a_history ())) parties;
-    completion_rounds;
-    stats = Engine.stats engine;
-    honest_inputs;
-    traffic = Traffic.to_rows (Traffic.of_engine engine);
-    monitor = Option.map Monitor.summary mon;
-    transport = s.transport;
-    wire = Option.map Netrun.stats net;
-  }
+  grade ~scenario:s ~termination ~stats:(Engine.stats engine)
+    ~traffic:(Traffic.to_rows (Traffic.of_engine engine))
+    ~monitor:(Option.map Monitor.summary mon)
+    ~safe_cache ~transport:s.transport
+    ~wire:(Option.map Netrun.stats net)
+    parties
 
 (* Parallel sweeps. [run] touches no state outside its own scenario: the
    engine, its Rng, the traffic counters and every LP workspace (inside
@@ -286,6 +361,11 @@ let pp_summary ppf r =
     "%s: live=%b valid=%b agreement=%b diam=%.3e (eps=%g) rounds=%.1f msgs=%d"
     r.scenario_name r.live r.valid r.agreement r.diameter r.eps
     r.completion_rounds r.stats.Engine.messages_sent;
+  Format.fprintf ppf " cache=safe:%d/%d,intern:%d/%d"
+    r.caches.safe_hits
+    (r.caches.safe_hits + r.caches.safe_misses)
+    r.caches.intern_hits
+    (r.caches.intern_hits + r.caches.intern_misses);
   (* only non-default backends announce themselves: committed sim
      summaries stay byte-identical *)
   (match (r.transport, r.wire) with

@@ -16,6 +16,20 @@ type termination =
 val termination_to_string : termination -> string
 (** ["completed"], ["timed-out"], ["budget-exhausted"]. *)
 
+type cache_stats = {
+  safe_hits : int;  (** safe-area memo lookups answered from cache *)
+  safe_misses : int;  (** lookups that ran the geometry kernel *)
+  safe_size : int;  (** distinct memo entries at run end *)
+  intern_hits : int;  (** payload-intern lookups resolved to a known id *)
+  intern_misses : int;  (** payloads interned fresh *)
+  intern_size : int;  (** distinct payloads interned *)
+}
+(** Shared-cache efficacy. For a dedicated-engine run the safe-area
+    numbers are this run's own memo and the intern numbers sum the graded
+    parties' tables. Under the multi-instance engine both structures may
+    be shared across co-resident instances, so a multiplexed run reports
+    the {e shared} totals — the differential tests mask this field. *)
+
 type result = {
   scenario_name : string;
   termination : termination;
@@ -42,6 +56,7 @@ type result = {
       (** the online invariant monitor's verdict (violation counts, worst
           final diameter vs ε, …); [Some] iff the run was started with
           [~monitor:true] *)
+  caches : cache_stats;
   transport : [ `Sim | `Net ];
       (** which backend carried the messages (from the scenario) *)
   wire : Netrun.wire_stats option;
@@ -50,7 +65,60 @@ type result = {
           (retransmission and reconnect counts) — assert them loosely *)
 }
 
-val run : ?monitor:bool -> ?fail_fast:bool -> Scenario.t -> result
+type attached = {
+  a_start : Vec.t -> unit;
+  a_output : unit -> Vec.t option;
+  a_output_iter : unit -> int option;
+  a_output_time : unit -> int option;
+  a_t_estimate : unit -> int option;
+  a_history : unit -> (int * Vec.t) list;
+  a_intern : unit -> int * int * int;
+      (** (hits, misses, size) of the party's intern table; zeros for EW *)
+}
+(** Uniform read-side view over whichever protocol an endpoint runs —
+    the interface {!grade} consumes, independent of [`Maaa] vs [`Ew]. *)
+
+type hooks = (iter:int -> Vec.t -> unit) * (iter:int -> Vec.t -> unit)
+(** (on_iteration, on_output) monitor callbacks. *)
+
+val attach_party :
+  scenario:Scenario.t ->
+  ?hooks:hooks ->
+  ?intern:Intern.t ->
+  safe_cache:Safe_cache.t ->
+  ew_iters:int Lazy.t ->
+  Message.t Transport.endpoint ->
+  attached
+(** Attaches the scenario's protocol ([`Maaa] → {!Party}, [`Ew] →
+    {!Ew_aa}) onto the endpoint with the scenario's full configuration
+    (mutant, message layer, batch window, update kernel). The one seam
+    both {!run} and {!Multi_runner} build parties through, so a
+    multiplexed party is configured exactly like a dedicated-engine one.
+    [?intern] (ΠAA only) lets the multi-instance runner share one payload
+    table per engine slot across co-resident instances. *)
+
+val grade :
+  scenario:Scenario.t ->
+  termination:termination ->
+  stats:Engine.stats ->
+  traffic:(string * int * int) list ->
+  monitor:Monitor.summary option ->
+  safe_cache:Safe_cache.t ->
+  transport:[ `Sim | `Net ] ->
+  wire:Netrun.wire_stats option ->
+  (int * attached) list ->
+  result
+(** The grading tail shared by {!run} and {!Multi_runner}: filters the
+    attached parties down to {!Scenario.graded_honest}, reads their
+    outputs, and computes liveness / validity / agreement / diameter /
+    completion metrics plus the cache counters. *)
+
+val run :
+  ?monitor:bool ->
+  ?fail_fast:bool ->
+  ?tracer:(Message.t Engine.trace_event -> unit) ->
+  Scenario.t ->
+  result
 (** Runs ΠAA for every honest party and installs the scenario's Byzantine
     behaviours for the rest; a chaos fault plan in the scenario is compiled
     into the delay policy and installed on the engine. With
@@ -65,7 +133,11 @@ val run : ?monitor:bool -> ?fail_fast:bool -> Scenario.t -> result
     budget exhaustion and wall-clock deadline are reported as the result's
     [termination] ([Budget_exhausted] / [Timed_out]) instead of an
     exception escaping [Engine.run]. [~fail_fast:true] restores the old
-    raising behaviour on event-budget exhaustion, for tests that pin it. *)
+    raising behaviour on event-budget exhaustion, for tests that pin it.
+
+    [?tracer] observes every engine trace event (chained after the
+    monitor's own tracer when both are present) — the hook the
+    differential grid uses to capture full send/deliver traces. *)
 
 val run_batch : ?domains:int -> ?monitor:bool -> Scenario.t list -> result list
 (** Runs the scenarios on a {!Pool} of [domains] worker domains (default

@@ -12,6 +12,7 @@ type t = {
   corruptions : (int * Behavior.t) list;
   chaos : Fault_plan.t option;
   mutant : Party.mutant option;
+  mode : Party.mode;
   isolate : bool;
   message_layer : [ `Interned | `Reference | `Batched ];
   batch_window : int;
@@ -23,7 +24,8 @@ type t = {
 }
 
 let make ?(name = "scenario") ?(seed = 1L) ?policy ?(sync_network = true)
-    ?(corruptions = []) ?chaos ?mutant ?(isolate = false)
+    ?(corruptions = []) ?chaos ?mutant ?(mode = Party.Estimate)
+    ?(isolate = false)
     ?(message_layer = `Interned) ?(batch_window = 1)
     ?(update_kernel = `Safe_area) ?(protocol = `Maaa) ?(transport = `Sim)
     ?wire_chaos ?(budget = no_budget) ~cfg ~inputs () =
@@ -77,6 +79,7 @@ let make ?(name = "scenario") ?(seed = 1L) ?policy ?(sync_network = true)
     corruptions;
     chaos;
     mutant;
+    mode;
     isolate;
     message_layer;
     batch_window;

@@ -34,6 +34,11 @@ type t = {
   mutant : Party.mutant option;
       (** deliberately broken protocol variant — only for proving the
           monitor detects real bugs *)
+  mode : Party.mode;
+      (** honest parties' protocol mode (see {!Party.mode}): [Estimate]
+          (default, the paper's Πinit + iterations) or [Fixed_t] — the
+          known-input-bounds variant that skips Πinit, used by E16 and by
+          the B14 small-instance saturation bench. Ignored under [`Ew]. *)
   isolate : bool;
       (** run the engine under [`Isolate]: a party-handler exception
           records a failure and crashes that party instead of aborting the
@@ -81,6 +86,7 @@ val make :
   ?corruptions:(int * Behavior.t) list ->
   ?chaos:Fault_plan.t ->
   ?mutant:Party.mutant ->
+  ?mode:Party.mode ->
   ?isolate:bool ->
   ?message_layer:[ `Interned | `Reference | `Batched ] ->
   ?batch_window:int ->

@@ -151,7 +151,7 @@ let render_result (res : Runner.result) =
     Printf.sprintf "ok diameter=%.17g rounds=%.17g outputs=%s"
       res.Runner.diameter res.Runner.completion_rounds outputs
 
-let handle_batch ?(domains = 1) lines =
+let handle_batch ?(domains = 1) ?pool lines =
   let parsed =
     List.map
       (fun line ->
@@ -161,7 +161,11 @@ let handle_batch ?(domains = 1) lines =
       lines
   in
   let scens = List.filter_map Result.to_option parsed in
-  let results = ref (Runner.run_batch ~domains scens) in
+  (* the whole batch flows through the multiplexed engine: admissible
+     sim requests share one event loop (and its caches) per group,
+     non-muxable ones (the `Net transport) fall back to dedicated runs;
+     either way results are byte-identical to per-request engines *)
+  let results = ref (Multi_runner.run_many ~domains ?pool scens) in
   List.map
     (fun p ->
       match p with
@@ -173,6 +177,24 @@ let handle_batch ?(domains = 1) lines =
               render_result res
           | [] -> assert false))
     parsed
+
+let throughput_smoke ?(domains = 1) n =
+  let lines =
+    List.init n (fun i ->
+        Printf.sprintf
+          "agree v=1 d=1 eps=0.25 delta=1 ts=1 ta=0 seed=%d \
+           inputs=0.4;0.45;0.5;0.55"
+          (i + 1))
+  in
+  let t0 = Unix.gettimeofday () in
+  let resps = handle_batch ~domains lines in
+  let dt = Unix.gettimeofday () -. t0 in
+  List.iter
+    (fun r ->
+      if String.length r < 2 || String.sub r 0 2 <> "ok" then
+        failwith ("throughput_smoke: request failed: " ^ r))
+    resps;
+  float_of_int n /. dt
 
 (* -- the socket loop ---------------------------------------------------- *)
 
@@ -193,7 +215,13 @@ let serve ?(host = "127.0.0.1") ?(domains = 1) ?max_conns ?announce ~port () =
   let continue () =
     match max_conns with None -> true | Some m -> !conns < m
   in
-  Fun.protect ~finally:(fun () -> try Unix.close sock with _ -> ())
+  (* the worker pool is created once and survives across connections —
+     per-request engine/pool construction was the serve-throughput wall *)
+  let pool = if domains > 1 then Some (Pool.create ~domains ()) else None in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with _ -> ());
+      Option.iter Pool.shutdown pool)
   @@ fun () ->
   while continue () do
     let fd, _ = Unix.accept sock in
@@ -210,7 +238,7 @@ let serve ?(host = "127.0.0.1") ?(domains = 1) ?max_conns ?announce ~port () =
          | exception End_of_file -> List.rev acc
        in
        let lines = read [] in
-       let resps = handle_batch ~domains lines in
+       let resps = handle_batch ~domains ?pool lines in
        List.iter
          (fun r ->
            output_string oc r;

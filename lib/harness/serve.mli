@@ -37,10 +37,20 @@ val scenario_of_request : request -> (Scenario.t, string) result
 (** Validates feasibility ({!Config.make}) and builds the synchronous
     lockstep scenario the service runs. *)
 
-val handle_batch : ?domains:int -> string list -> string list
+val handle_batch : ?domains:int -> ?pool:Pool.t -> string list -> string list
 (** Pure core of the service: one response line per request line, in
-    order. Well-formed requests are graded on the pool; malformed ones
-    answer [err ...] without consuming a pool slot. *)
+    order. Well-formed requests flow through the multiplexed engine
+    ({!Multi_runner.run_many}): admissible sim requests share one event
+    loop and its caches per group, [`Net] requests fall back to dedicated
+    runs — responses are byte-identical either way. Malformed requests
+    answer [err ...] without consuming a pool slot. When [pool] is given
+    it is used as-is (the socket loop hoists one pool across
+    connections); otherwise [domains] governs per-batch sharding. *)
+
+val throughput_smoke : ?domains:int -> int -> float
+(** Runs [n] canonical small agreement requests (n=4, D=1) through
+    {!handle_batch} and returns the measured requests/sec — the serve
+    validation smoke. Raises [Failure] if any request errors. *)
 
 val serve :
   ?host:string ->

@@ -134,7 +134,9 @@ let try_fire t =
       && IntSet.cardinal t.witnesses >= t.n - t.ts
     then begin
       t.sent_wset <- true;
-      t.cb.send_all (Message.Witness_set (IntSet.elements t.witnesses))
+      t.cb.send_all
+        (Message.Witness_set
+           { instance = 0; parties = IntSet.elements t.witnesses })
     end;
     recheck_wsets t;
     let gate =

@@ -57,6 +57,9 @@ let value_history t =
   Hashtbl.fold (fun it v acc -> (it, v) :: acc) t.history []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+let intern_stats t =
+  (Intern.hits t.intern, Intern.misses t.intern, Intern.count t.intern)
+
 let rbc t = Option.get t.rbc
 
 let buffer tbl key item =
@@ -107,7 +110,7 @@ let rec join_iteration t it =
         rbc_broadcast =
           (fun payload ->
             Rbc.broadcast (rbc t)
-              { Message.tag = Message.Obc_value it; origin = t.me }
+              { Message.tag = Message.Obc_value it; origin = t.me; instance = 0 }
               payload);
         send_all = t.send_all;
         output = (fun mset -> on_obc_output t it mset);
@@ -160,7 +163,9 @@ and try_advance t =
           if (not t.sent_halt) && Some completed = t.t_estimate then begin
             t.sent_halt <- true;
             Rbc.broadcast (rbc t)
-              { Message.tag = Message.Halt completed; origin = t.me }
+              { Message.tag = Message.Halt completed;
+                origin = t.me;
+                instance = 0 }
               (Message.Pint completed)
           end;
           try_halt_output t;
@@ -200,7 +205,7 @@ let on_rbc_deliver t (id : Message.rbc_id) payload =
 
 let create ?(callbacks = no_callbacks) ?(mode = Estimate) ?mutant
     ?(message_layer = `Interned) ?(batch_window = 1) ?register_flush
-    ?safe_cache ?(update_kernel = `Safe_area) ~cfg ~me ~now ~send_all
+    ?safe_cache ?intern ?(update_kernel = `Safe_area) ~cfg ~me ~now ~send_all
     ~set_timer () =
   let impl =
     match message_layer with
@@ -225,7 +230,7 @@ let create ?(callbacks = no_callbacks) ?(mode = Estimate) ?mutant
       mutant;
       impl;
       batch;
-      intern = Intern.create ();
+      intern = (match intern with Some i -> i | None -> Intern.create ());
       safe_cache =
         (match safe_cache with Some c -> c | None -> Safe_cache.create ());
       update_kernel;
@@ -280,7 +285,9 @@ let create ?(callbacks = no_callbacks) ?(mode = Estimate) ?mutant
            set_timer;
            rbc_broadcast =
              (fun tag payload ->
-               Rbc.broadcast (rbc t) { Message.tag; origin = me } payload);
+               Rbc.broadcast (rbc t)
+                 { Message.tag; origin = me; instance = 0 }
+                 payload);
            send_all;
            output = (fun tt v0 -> on_init_output t tt v0);
          });
@@ -331,17 +338,17 @@ let handle t (ev : Message.t Transport.event) =
               Rbc.on_message (rbc t) ~from:src id step payload)
             entries;
           if t.iter >= 1 then try_advance t
-      | Message.Obc_report { iter; pairs } ->
+      | Message.Obc_report { iter; pairs; _ } ->
           if t.output = None then begin
             match Hashtbl.find_opt t.obcs iter with
             | Some obc -> Obc.on_report obc ~from:src pairs
             | None ->
                 if iter > t.iter then buffer t.buffered_reports iter (src, pairs)
           end
-      | Message.Witness_set ws -> (
+      | Message.Witness_set { parties; _ } -> (
           match t.init with
           | Some i when not (Init_round.has_output i) ->
-              Init_round.on_witness_set i ~from:src ws
+              Init_round.on_witness_set i ~from:src parties
           | _ -> ())
       | Message.Sync_round _ | Message.Ew_value _ | Message.Ew_report _
       | Message.Junk _ ->
@@ -352,12 +359,13 @@ let handle t (ev : Message.t Transport.event) =
    [lib/maaa] and whichever backend (simulator engine, or the engine
    driving the loopback TCP wire) carries the traffic. *)
 let attach_endpoint ?callbacks ?mode ?mutant ?message_layer ?batch_window
-    ?safe_cache ?update_kernel ~cfg (ep : Message.t Transport.endpoint) =
+    ?safe_cache ?intern ?update_kernel ~cfg (ep : Message.t Transport.endpoint)
+    =
   if ep.Transport.n <> cfg.Config.n then
     invalid_arg "Party.attach_endpoint: endpoint/config n mismatch";
   let t =
     create ?callbacks ?mode ?mutant ?message_layer ?batch_window ?safe_cache
-      ?update_kernel ~cfg ~me:ep.Transport.me
+      ?intern ?update_kernel ~cfg ~me:ep.Transport.me
       ~register_flush:ep.Transport.register_flush ~now:ep.Transport.now
       ~send_all:ep.Transport.send_all
       ~set_timer:(fun ~at -> ep.Transport.set_timer ~at ~tag:0)
@@ -367,7 +375,7 @@ let attach_endpoint ?callbacks ?mode ?mutant ?message_layer ?batch_window
   t
 
 let attach ?callbacks ?mode ?mutant ?message_layer ?batch_window ?safe_cache
-    ?update_kernel ~cfg ~me engine =
+    ?intern ?update_kernel ~cfg ~me engine =
   attach_endpoint ?callbacks ?mode ?mutant ?message_layer ?batch_window
-    ?safe_cache ?update_kernel ~cfg
+    ?safe_cache ?intern ?update_kernel ~cfg
     (Engine.endpoint engine ~me)

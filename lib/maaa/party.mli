@@ -54,6 +54,7 @@ val create :
   ?batch_window:int ->
   ?register_flush:(((final:bool -> unit) -> unit)) ->
   ?safe_cache:Safe_cache.t ->
+  ?intern:Intern.t ->
   ?update_kernel:Safe_cache.kernel ->
   cfg:Config.t ->
   me:int ->
@@ -77,6 +78,7 @@ val attach_endpoint :
   ?message_layer:[ `Interned | `Reference | `Batched ] ->
   ?batch_window:int ->
   ?safe_cache:Safe_cache.t ->
+  ?intern:Intern.t ->
   ?update_kernel:Safe_cache.kernel ->
   cfg:Config.t ->
   Message.t Transport.endpoint ->
@@ -94,6 +96,7 @@ val attach :
   ?message_layer:[ `Interned | `Reference | `Batched ] ->
   ?batch_window:int ->
   ?safe_cache:Safe_cache.t ->
+  ?intern:Intern.t ->
   ?update_kernel:Safe_cache.kernel ->
   cfg:Config.t ->
   me:int ->
@@ -105,7 +108,11 @@ val attach :
     implementations (default [`Interned], the fast path): the party owns
     one {!Intern} hash-consing table shared by its rBC multiplexer and
     every per-iteration oBC instance, created fresh per party — so a run
-    never sees another run's payload ids. [`Reference] wires the seed
+    never sees another run's payload ids — unless the caller passes
+    [intern], which substitutes a shared table (the multi-instance
+    engine shares one table per slot across co-resident instances; safe
+    because ids never leave the party and vote tables are keyed by the
+    instance-carrying rBC id). [`Reference] wires the seed
     Map-based layers instead; both produce bit-identical traces.
     [`Batched] runs the interned vote tables behind a {!Batch} egress
     buffer: all rBC votes emitted within a tick leave as one combined
@@ -144,3 +151,8 @@ val iteration_estimate : t -> int option
 
 val value_history : t -> (int * Vec.t) list
 (** [(it, v_it)] pairs, [it = 0] being the Πinit output, ascending. *)
+
+val intern_stats : t -> int * int * int
+(** [(hits, misses, size)] of the party's payload-interning table (the
+    table may be shared with other parties when the caller passed
+    [?intern]). *)

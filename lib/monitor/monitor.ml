@@ -136,10 +136,10 @@ let malformed_rbc t id payload : string option =
 let malformed t (msg : Message.t) : string option =
   match msg with
   | Message.Junk _ -> Some "honest party sent junk"
-  | Message.Witness_set ws ->
+  | Message.Witness_set { parties = ws; _ } ->
       if List.for_all (ok_party t) ws then None
       else Some "witness set names out-of-range party"
-  | Message.Obc_report { iter; pairs } ->
+  | Message.Obc_report { iter; pairs; _ } ->
       if iter < 1 then Some (Printf.sprintf "oBC report for iteration %d" iter)
       else if not (ok_pairs t pairs) then Some "oBC report with invalid pairs"
       else None
@@ -148,12 +148,12 @@ let malformed t (msg : Message.t) : string option =
       else if Vec.dim value <> t.cfg.Config.d then
         Some "baseline value dimension mismatch"
       else None
-  | Message.Ew_value { iter; value } ->
+  | Message.Ew_value { iter; value; _ } ->
       if iter < 1 then Some (Printf.sprintf "EW value for iteration %d" iter)
       else if Vec.dim value <> t.cfg.Config.d then
         Some "EW value dimension mismatch"
       else None
-  | Message.Ew_report { iter; pairs } ->
+  | Message.Ew_report { iter; pairs; _ } ->
       if iter < 1 then Some (Printf.sprintf "EW report for iteration %d" iter)
       else if not (ok_pairs t pairs) then Some "EW report with invalid pairs"
       else None

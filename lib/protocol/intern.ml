@@ -29,6 +29,11 @@ type t = {
      sound. [last_id] is -1 while empty. *)
   mutable last_p : Message.payload;
   mutable last_id : int;
+  (* lookup accounting: a hit finds an existing id (memo or bucket), a
+     miss allocates a fresh one. Exposed through Runner.result so shared-
+     table efficacy across multiplexed instances is measurable. *)
+  mutable hits : int;
+  mutable misses : int;
 }
 
 let hash_int_list l =
@@ -79,9 +84,13 @@ let create ?(initial_size = 64) ?(fixed = false) () =
     fixed;
     last_p = dummy;
     last_id = -1;
+    hits = 0;
+    misses = 0;
   }
 
 let count t = t.count
+let hits t = t.hits
+let misses t = t.misses
 
 let rehash t =
   let size = 2 * Array.length t.buckets in
@@ -104,7 +113,10 @@ let payload t id =
   t.payloads.(id)
 
 let intern t p =
-  if t.last_id >= 0 && p == t.last_p then t.last_id
+  if t.last_id >= 0 && p == t.last_p then begin
+    t.hits <- t.hits + 1;
+    t.last_id
+  end
   else begin
     let h = hash_payload p in
     let b = bucket_of t h in
@@ -116,8 +128,11 @@ let intern t p =
     in
     let id =
       match find t.buckets.(b) with
-      | id when id >= 0 -> id
+      | id when id >= 0 ->
+          t.hits <- t.hits + 1;
+          id
       | _ ->
+          t.misses <- t.misses + 1;
           let id = t.count in
           if id = Array.length t.payloads then begin
             let bigger = Array.make (2 * id) dummy in
@@ -143,4 +158,6 @@ let reset t =
   Array.fill t.payloads 0 (Array.length t.payloads) dummy;
   t.count <- 0;
   t.last_p <- dummy;
-  t.last_id <- -1
+  t.last_id <- -1;
+  t.hits <- 0;
+  t.misses <- 0

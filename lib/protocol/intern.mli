@@ -42,6 +42,12 @@ val intern_payload : t -> Message.payload -> Message.payload
 val count : t -> int
 (** Number of distinct payloads interned so far. *)
 
+val hits : t -> int
+(** Lookups that found an existing id (1-entry memo hits included). *)
+
+val misses : t -> int
+(** Lookups that allocated a fresh id ([= count] until a {!reset}). *)
+
 val reset : t -> unit
 (** Empty the table, keeping its buffers, so a party object can be
     reused across runs without leaking payloads between them. Ids

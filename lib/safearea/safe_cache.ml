@@ -34,9 +34,16 @@ module H = Hashtbl.Make (struct
     !h land max_int
 end)
 
-type t = Vec.t option H.t
+type t = {
+  tbl : Vec.t option H.t;
+  mutable hits : int;
+  mutable misses : int;
+}
 
-let create () = H.create 64
+let create () = { tbl = H.create 64; hits = 0; misses = 0 }
+let hits t = t.hits
+let misses t = t.misses
+let size t = H.length t.tbl
 
 let new_value_arr ?(kernel = `Safe_area) cache ~t vs =
   (* Canonicalise the order here so permutations of one multiset share an
@@ -46,15 +53,21 @@ let new_value_arr ?(kernel = `Safe_area) cache ~t vs =
   Array.sort Vec.compare vs;
   let kid = match kernel with `Safe_area -> 0 | `Centroid -> 1 in
   let key = { trim = t; kernel = kid; vs } in
-  match H.find_opt cache key with
-  | Some r -> r
+  match H.find_opt cache.tbl key with
+  | Some r ->
+      cache.hits <- cache.hits + 1;
+      r
   | None ->
+      cache.misses <- cache.misses + 1;
       let r =
         match kernel with
         | `Safe_area -> Safe_area.new_value_arr ~t vs
         | `Centroid -> Safe_area.centroid_value_arr ~t vs
       in
-      H.add cache key r;
+      H.add cache.tbl key r;
       r
 
-let reset = H.reset
+let reset t =
+  H.reset t.tbl;
+  t.hits <- 0;
+  t.misses <- 0

@@ -8,9 +8,12 @@
     plus n-1 lookups, without changing any result bit: a hit returns
     exactly what the miss computed from identical inputs.
 
-    Scope a cache to one run (one engine): sharing across runs would keep
-    dead multisets alive, and sharing across pool domains is forbidden by
-    the harness determinism contract (no mutable state crosses jobs). *)
+    Scope a cache to one engine: within one event loop it may be shared
+    across {e co-resident protocol instances} too (the multi-instance
+    runner keys one cache per (D, trim-profile) class), because the memo
+    is pure — a hit returns the identical bits a miss would recompute.
+    Sharing across pool domains is forbidden by the harness determinism
+    contract (no mutable state crosses jobs). *)
 
 type kernel = [ `Safe_area | `Centroid ]
 (** Which update rule a cached value belongs to: the paper's
@@ -29,3 +32,14 @@ val new_value_arr : ?kernel:kernel -> t -> t:int -> Vec.t array -> Vec.t option
     canonicalised, so permutations of one multiset hit one entry. *)
 
 val reset : t -> unit
+
+(* -- lookup accounting (surfaced in Runner.result) -- *)
+
+val hits : t -> int
+(** Lookups answered from the memo. *)
+
+val misses : t -> int
+(** Lookups that ran the geometry kernel. *)
+
+val size : t -> int
+(** Distinct (kernel, trim, multiset) keys currently cached. *)

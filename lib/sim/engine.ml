@@ -166,6 +166,27 @@ let send t ~src ~dst msg =
       t.seq <- t.seq + 1;
       w.wire_send ~src ~dst ~seq:t.seq ~deliver_at msg
 
+let send_at t ~src ~dst ~deliver_at msg =
+  if dst < 0 || dst >= t.n then invalid_arg "Engine.send_at: bad destination";
+  (* same floor as [send]: nothing is delivered within its own tick *)
+  let deliver_at = max deliver_at (t.now + 1) in
+  t.messages_sent <- t.messages_sent + 1;
+  t.bytes_sent <- t.bytes_sent + t.size_of msg;
+  (match t.classify with
+  | Some f ->
+      f msg (fun klass bytes ->
+          t.class_msgs.(klass) <- t.class_msgs.(klass) + 1;
+          t.class_bytes.(klass) <- t.class_bytes.(klass) + bytes)
+  | None -> ());
+  (match t.tracer with
+  | Some f -> f (Sent { src; dst; at = t.now; deliver_at; msg })
+  | None -> ());
+  match t.wire with
+  | None -> push t ~at:deliver_at ~target:dst (Deliver { src; msg })
+  | Some w ->
+      t.seq <- t.seq + 1;
+      w.wire_send ~src ~dst ~seq:t.seq ~deliver_at msg
+
 let broadcast t ~src msg =
   for dst = 0 to t.n - 1 do
     send t ~src ~dst msg

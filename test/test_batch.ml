@@ -13,7 +13,7 @@ let vec l = Vec.of_list l
 
 (* --- Batch buffer unit tests --- *)
 
-let id_ tag origin = { Message.tag; origin }
+let id_ tag origin = { Message.tag; origin; instance = 0 }
 
 let test_batch_buffer () =
   let sent = ref [] in
@@ -23,7 +23,7 @@ let test_batch_buffer () =
   Batch.add b (id_ Message.Init_value 3) Message.Init (Message.Pvec (vec [ 1. ]));
   Batch.flush b;
   (match !sent with
-  | [ Message.Rbc ({ tag = Message.Init_value; origin = 3 }, Message.Init, _) ]
+  | [ Message.Rbc ({ tag = Message.Init_value; origin = 3; _ }, Message.Init, _) ]
     ->
       ()
   | _ -> Alcotest.fail "singleton flush must send a plain Rbc packet");

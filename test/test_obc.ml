@@ -36,7 +36,7 @@ let wire_party f ~n ~ts ~delta i =
         rbc_broadcast =
           (fun payload ->
             Rbc.broadcast rbc
-              { Message.tag = Message.Obc_value 1; origin = i }
+              { Message.tag = Message.Obc_value 1; origin = i; instance = 0 }
               payload);
         send_all = (fun msg -> Engine.broadcast engine ~src:i msg);
         output =
@@ -48,7 +48,7 @@ let wire_party f ~n ~ts ~delta i =
       match ev with
       | Engine.Deliver { src; msg = Message.Rbc (id, step, payload) } ->
           Rbc.on_message rbc ~from:src id step payload
-      | Engine.Deliver { src; msg = Message.Obc_report { iter = 1; pairs } } ->
+      | Engine.Deliver { src; msg = Message.Obc_report { iter = 1; pairs; _ } } ->
           Obc.on_report obc ~from:src pairs
       | Engine.Timer _ -> Obc.poke obc
       | Engine.Deliver _ -> ());
@@ -204,7 +204,9 @@ let test_ablation_no_witnessing_loses_overlap_guarantee () =
         set_timer = (fun ~at -> Engine.set_timer engine ~party:0 ~at ~tag:0);
         rbc_broadcast =
           (fun payload ->
-            Rbc.broadcast rbc { Message.tag = Message.Obc_value 1; origin = 0 } payload);
+            Rbc.broadcast rbc
+              { Message.tag = Message.Obc_value 1; origin = 0; instance = 0 }
+              payload);
         send_all = (fun msg -> Engine.broadcast engine ~src:0 msg);
         output = (fun _ -> out_time := Some (Engine.now engine));
       }
@@ -232,7 +234,7 @@ let test_ablation_no_witnessing_loses_overlap_guarantee () =
               Rbc.on_message rbc_i ~from:src id step payload
           | _ -> ());
       Rbc.broadcast rbc_i
-        { Message.tag = Message.Obc_value 1; origin = i }
+        { Message.tag = Message.Obc_value 1; origin = i; instance = 0 }
         (Message.Pvec (vec1 (float_of_int i))))
     [ 1; 2; 3; 4 ];
   Obc.start obc (vec1 0.);
