@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json ci par-check soak soak-smoke soak-resume msgs-check net-check multi-check serve serve-smoke clean
+.PHONY: all build test bench bench-json ci par-check soak soak-smoke soak-resume msgs-check net-check multi-check explore-check serve serve-smoke clean
 
 all: build
 
@@ -91,6 +91,19 @@ net-check:
 # traces, monitor summaries). Exit 1 with one line per mismatch.
 multi-check:
 	dune exec bin/multi_check_main.exe
+
+# Bounded model checking of the pinned small configuration: DFS over all
+# delivery interleavings the engine can produce (chooser seam in
+# lib/sim/engine), every execution graded by the online monitor. Gates:
+# the honest n=3 D=1 space is exhaustively clean, both protocol mutants
+# (non-contracting, premature-output) are rediscovered with shrunk,
+# replay-verified (plan, schedule) repros, and DPOR-style persistent
+# sets + canonical-state dedup beat naive enumeration >= 5x. Exit 1 on
+# any gate failure. Ad-hoc exploration: `dune exec bin/explore_main.exe
+# -- --n 4 --ts 1 --adversary crash:3:2 --depth 3 --out Q.tsv`, then
+# `--replay Q.tsv`.
+explore-check:
+	dune exec bin/explore_main.exe -- --check
 
 # Serve-throughput visibility: push N requests through the batch core
 # (no sockets) and print requests/sec. Measured, not gated; any failed

@@ -3,10 +3,26 @@ type t =
   | Crash_at of int
   | Honest_with_input of Vec.t
   | Equivocate of Vec.t * Vec.t
+  | Equivocate_split of { values : Vec.t * Vec.t; assign : int array }
   | Halt_liar of int
   | Spam of { period : int; payload_bytes : int; until : int }
   | Garbage of int
   | Lagger of int
+
+let equivocate_towards engine ~cfg ~me ~va ~vb ~lied_to =
+  let p = Party.attach ~cfg ~me engine in
+  Party.start p va;
+  List.iter
+    (fun tag ->
+      for dst = 0 to cfg.Config.n - 1 do
+        if lied_to dst then
+          Engine.send engine ~src:me ~dst
+            (Message.Rbc
+               ( { Message.tag; origin = me; instance = 0 },
+                 Message.Init,
+                 Message.Pvec vb ))
+      done)
+    [ Message.Init_value; Message.Obc_value 1 ]
 
 let install engine ~cfg ~me ~input behavior =
   match behavior with
@@ -30,20 +46,16 @@ let install engine ~cfg ~me ~input behavior =
          Init messages carrying [vb] go to the upper half for the two
          broadcasts of our own where equivocation matters most: the Πinit
          input and the first iteration's ΠoBC value. *)
-      let p = Party.attach ~cfg ~me engine in
-      Party.start p va;
-      let upper_half dst = dst >= cfg.Config.n / 2 in
-      List.iter
-        (fun tag ->
-          for dst = 0 to cfg.Config.n - 1 do
-            if upper_half dst then
-              Engine.send engine ~src:me ~dst
-                (Message.Rbc
-                   ( { Message.tag; origin = me; instance = 0 },
-                     Message.Init,
-                     Message.Pvec vb ))
-          done)
-        [ Message.Init_value; Message.Obc_value 1 ]
+      equivocate_towards engine ~cfg ~me ~va ~vb ~lied_to:(fun dst ->
+          dst >= cfg.Config.n / 2)
+  | Equivocate_split { values = va, vb; assign } ->
+      (* [Equivocate] with the receiver split chosen per party instead of
+         hard-wired to the upper half — the enumerable form the explorer
+         sweeps: [assign.(dst) = 1] marks the receivers that get the
+         conflicting [vb] Init messages. (The all-zero assignment degrades
+         to plain honest-on-[va].) *)
+      equivocate_towards engine ~cfg ~me ~va ~vb ~lied_to:(fun dst ->
+          dst < Array.length assign && assign.(dst) <> 0)
   | Halt_liar it ->
       let p = Party.attach ~cfg ~me engine in
       Party.start p input;

@@ -20,6 +20,13 @@ type t =
       (** runs honestly with the first value but concurrently initiates
           its own broadcasts with the second value towards the upper half
           of the parties — rBC consistency is what must contain this *)
+  | Equivocate_split of { values : Vec.t * Vec.t; assign : int array }
+      (** [Equivocate] with an explicit per-receiver split: parties [dst]
+          with [assign.(dst) <> 0] receive the conflicting second-value
+          Init messages, everyone else sees the honest first value. This
+          is the enumerable form of equivocation the exhaustive explorer
+          sweeps (all [2^n] assignments at small [n]); the all-zero
+          assignment degrades to honest behaviour on the first value *)
   | Halt_liar of int
       (** honest, but immediately reliably-broadcasts a [(halt, it)]
           message for the given iteration, trying to trick parties into

@@ -15,12 +15,20 @@ type iter_state = {
   mutable pending : Pairset.t IntMap.t;
   mutable seen_report : IntSet.t;
   mutable sent_report : bool;
+  (* Equivocation-defence state, untouched when the defence is off. [raw]
+     holds the first value received directly from each sender; [support]
+     maps a claimed sender to the echo-supporter set of each value claimed
+     for it. *)
+  mutable raw : Pairset.t;
+  mutable support : (Vec.t * IntSet.t) list IntMap.t;
+  mutable sent_claims : bool;
 }
 
 type t = {
   n : int;
   thr : int;
   iters : int;
+  defence : bool;
   now : unit -> int;
   send_all : Message.t -> unit;
   cbs : callbacks;
@@ -52,6 +60,9 @@ let state t it =
           pending = IntMap.empty;
           seen_report = IntSet.empty;
           sent_report = false;
+          raw = Pairset.empty;
+          support = IntMap.empty;
+          sent_claims = false;
         }
       in
       Hashtbl.add t.states it s;
@@ -105,6 +116,36 @@ let rec step t =
 
 let valid_party t p = p >= 0 && p < t.n
 
+(* Equivocation defence: fold one echo vote from [voter] for the claim
+   "party [p] sent value [v]". A pair is confirmed into [s.m] once n − t
+   distinct parties echo it. Honest parties echo at most one value per
+   claimed sender (their [raw] binding is first-wins), so two conflicting
+   pairs for the same sender would need 2(n − 2t) ≤ n − t honest echoers
+   — impossible for n > 3t — and [s.m] stays consistent across honest
+   parties without per-value reliable broadcast. *)
+let add_support t s ~voter ~p ~v =
+  if valid_party t p && not (Pairset.mem_party p s.m) then begin
+    let votes = try IntMap.find p s.support with Not_found -> [] in
+    let updated, confirmed =
+      let rec go acc = function
+        | [] -> (List.rev ((v, IntSet.singleton voter) :: acc), t.n - t.thr <= 1)
+        | (v', sup) :: rest when Vec.equal_exact v v' ->
+            let sup = IntSet.add voter sup in
+            (List.rev_append acc ((v', sup) :: rest),
+             IntSet.cardinal sup >= t.n - t.thr)
+        | entry :: rest -> go (entry :: acc) rest
+      in
+      go [] votes
+    in
+    s.support <- IntMap.add p updated s.support;
+    if confirmed then begin
+      s.m <- Pairset.add ~party:p v s.m;
+      true
+    end
+    else false
+  end
+  else false
+
 (* Channels are authenticated, so [src] plays the role the rBC origin
    field plays in the cubic baseline: a party's first value per iteration
    wins and duplicates (chaos-layer re-deliveries included) are no-ops. *)
@@ -112,10 +153,38 @@ let handle t ev =
   match ev with
   | Transport.Deliver
       { src; msg = Message.Ew_value { iter = it; value = v; _ } } ->
-      if valid_party t src && it >= 1 then begin
+      if valid_party t src && it >= 1 then
+        if not t.defence then begin
+          let s = state t it in
+          s.m <- Pairset.add ~party:src v s.m;
+          if it = t.iter then step t
+        end
+        else begin
+          let s = state t it in
+          if not (Pairset.mem_party src s.raw) then begin
+            s.raw <- Pairset.add ~party:src v s.raw;
+            if s.sent_claims then
+              (* Late direct arrival: a delta claim, so slow senders still
+                 gather their echo quorum. *)
+              t.send_all
+                (Message.Ew_echo { instance = 0; iter = it; pairs = [ (src, v) ] })
+            else if Pairset.cardinal s.raw >= t.n - t.thr then begin
+              s.sent_claims <- true;
+              t.send_all
+                (Message.Ew_echo
+                   { instance = 0; iter = it; pairs = Pairset.bindings s.raw })
+            end
+          end
+        end
+  | Transport.Deliver { src; msg = Message.Ew_echo { iter = it; pairs; _ } } ->
+      if t.defence && valid_party t src && it >= 1 then begin
         let s = state t it in
-        s.m <- Pairset.add ~party:src v s.m;
-        if it = t.iter then step t
+        let grew =
+          List.fold_left
+            (fun acc (p, v) -> add_support t s ~voter:src ~p ~v || acc)
+            false pairs
+        in
+        if grew && it = t.iter then step t
       end
   | Transport.Deliver { src; msg = Message.Ew_report { iter = it; pairs; _ } }
     ->
@@ -135,13 +204,14 @@ let handle t ev =
       end
   | Transport.Deliver _ | Transport.Timer _ -> ()
 
-let attach_endpoint ?(callbacks = no_callbacks) ~t:thr ~iters
-    (ep : Message.t Transport.endpoint) =
+let attach_endpoint ?(callbacks = no_callbacks) ?(equivocation_defence = false)
+    ~t:thr ~iters (ep : Message.t Transport.endpoint) =
   let t =
     {
       n = ep.n;
       thr;
       iters;
+      defence = equivocation_defence;
       now = ep.now;
       send_all = ep.send_all;
       cbs = callbacks;
@@ -156,10 +226,10 @@ let attach_endpoint ?(callbacks = no_callbacks) ~t:thr ~iters
   ep.set_handler (handle t);
   t
 
-let attach ?callbacks ~n ~t:thr ~iters ~me engine =
+let attach ?callbacks ?equivocation_defence ~n ~t:thr ~iters ~me engine =
   let ep = Engine.endpoint engine ~me in
   if ep.n <> n then invalid_arg "Ew_aa.attach: n mismatch";
-  attach_endpoint ?callbacks ~t:thr ~iters ep
+  attach_endpoint ?callbacks ?equivocation_defence ~t:thr ~iters ep
 
 let start t v =
   t.value <- Some v;

@@ -14,13 +14,42 @@
     via the safe area and adopt the diameter-pair midpoint. A fixed
     iteration count is supplied by the harness, as for {!Async_aa}.
 
-    Simplification relative to the paper: with rBC gone, nothing forces a
-    Byzantine sender to show the same value to everyone, and this module
-    adds no equivocation defence (the paper layers a lightweight
-    consistency mechanism for that). Within this repository's adversary
-    universe — whose behaviours never equivocate on EW message types —
-    the distinction is unobservable, and the monitor grades the protocol
-    under silent/crash/noise corruption; see DESIGN.md §7. *)
+    With rBC gone, nothing intrinsically forces a Byzantine sender to
+    show the same value to everyone; the paper layers a lightweight
+    consistency mechanism over the direct channels to restore that. This
+    module implements an {e echo-confirmation} defence in that role,
+    enabled by [?equivocation_defence] (default off, keeping the legacy
+    wire behaviour byte-identical for the pinned message-count and
+    differential gates):
+
+    - each party records the first value received directly from each
+      sender ([raw], first-wins per sender);
+    - once [n − t] direct values have arrived it broadcasts its raw pairs
+      as {!Message.Ew_echo} {e claims}, and thereafter one delta claim
+      per later direct arrival;
+    - a pair [(p, v)] is {e confirmed} into the value set [M] once
+      [n − t] distinct parties have echoed it. Reports, the witness
+      subset test and safe-area adoption all read confirmed [M] only.
+
+    Safety: honest parties echo at most one value per claimed sender, so
+    two conflicting pairs for one sender would need [2(n − 2t) ≤ n − t]
+    honest echoers — impossible for [n > 3t]. An equivocating value
+    therefore either confirms to a single vector everywhere or confirms
+    nowhere, which is exactly the guarantee rBC provided in the cubic
+    baseline. Liveness: every honest pair is eventually echoed by all
+    [n − t] honest parties (in their batch claim or a delta), so it
+    confirms everywhere. Cost: one claim broadcast per party plus at most
+    [t + 1] deltas — Θ(n²) messages per iteration in the common case,
+    preserving the quadratic bound (worst case Θ(t·n²) with maximally
+    staggered deliveries).
+
+    Without the defence, an equivocating sender can split honest value
+    sets so that no honest report ever passes another party's subset
+    test: witness counts stall below [n − t] and {e no honest party
+    outputs} — the failure mode pinned by [test_explore]'s equivocation
+    test. The monitor grades the defence-off configuration only under
+    this repository's non-equivocating adversary universe; see DESIGN.md
+    §7. *)
 
 type t
 
@@ -35,6 +64,7 @@ val no_callbacks : callbacks
 
 val attach :
   ?callbacks:callbacks ->
+  ?equivocation_defence:bool ->
   n:int ->
   t:int ->
   iters:int ->
@@ -46,13 +76,17 @@ val attach :
 
 val attach_endpoint :
   ?callbacks:callbacks ->
+  ?equivocation_defence:bool ->
   t:int ->
   iters:int ->
   Message.t Transport.endpoint ->
   t
 (** Attach onto an arbitrary transport endpoint ([n] comes from the
     endpoint). This is what lets the multi-instance engine host EW
-    instances alongside ΠAA ones. *)
+    instances alongside ΠAA ones. [equivocation_defence] (default
+    [false]) switches the value path to echo-confirmation as described
+    above; off, the wire behaviour is byte-identical to previous
+    versions. *)
 
 val start : t -> Vec.t -> unit
 val output : t -> Vec.t option

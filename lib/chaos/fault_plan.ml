@@ -137,6 +137,12 @@ let behavior_to_string = function
   | Behavior.Honest_with_input v -> Printf.sprintf "poison%s" (Vec.to_string v)
   | Behavior.Equivocate (a, b) ->
       Printf.sprintf "equivocate%s/%s" (Vec.to_string a) (Vec.to_string b)
+  | Behavior.Equivocate_split { values = a, b; assign } ->
+      Printf.sprintf "equivocate-split%s/%s->%s" (Vec.to_string a)
+        (Vec.to_string b)
+        (String.concat ""
+           (Array.to_list
+              (Array.map (fun x -> if x <> 0 then "1" else "0") assign)))
   | Behavior.Halt_liar it -> Printf.sprintf "halt-liar:%d" it
   | Behavior.Spam { period; payload_bytes; until } ->
       Printf.sprintf "spam:period=%d,bytes=%d,until=%d" period payload_bytes until
@@ -162,3 +168,158 @@ let to_strings = List.map atom_to_string
 
 let pp ppf plan =
   Format.fprintf ppf "[%s]" (String.concat "; " (to_strings plan))
+
+(* -- Machine-readable round-trip encoding -------------------------------
+
+   [atom_to_string] above is for humans; the explorer's quarantine files
+   need plans that parse back. The grammar is deliberately tiny: atoms
+   join with ';', fields with ',', behaviour sub-fields with ':', vector
+   coordinates with '/' rendered as hex floats (bit-exact round trip),
+   and 0/1 arrays as digit strings. No field ever contains a tab, so a
+   repr embeds directly in the soak-style TSV journal encoding. *)
+
+let vec_to_repr v =
+  String.concat "/"
+    (List.map (fun x -> Printf.sprintf "%h" x) (Vec.to_list v))
+
+let vec_of_repr s =
+  match
+    List.map float_of_string_opt (String.split_on_char '/' s)
+  with
+  | floats when List.for_all Option.is_some floats && floats <> [] ->
+      Ok (Vec.of_list (List.map Option.get floats))
+  | _ -> Error (Printf.sprintf "bad vector %S" s)
+
+let digits_to_array s =
+  let ok = ref true in
+  let a =
+    Array.init (String.length s) (fun i ->
+        match s.[i] with '0' -> 0 | '1' -> 1 | _ -> ok := false; 0)
+  in
+  if !ok && Array.length a > 0 then Ok a
+  else Error (Printf.sprintf "bad 0/1 array %S" s)
+
+let behavior_to_repr = function
+  | Behavior.Silent -> "s"
+  | Behavior.Crash_at t -> Printf.sprintf "c:%d" t
+  | Behavior.Honest_with_input v -> Printf.sprintf "h:%s" (vec_to_repr v)
+  | Behavior.Equivocate (a, b) ->
+      Printf.sprintf "e:%s:%s" (vec_to_repr a) (vec_to_repr b)
+  | Behavior.Equivocate_split { values = a, b; assign } ->
+      Printf.sprintf "x:%s:%s:%s" (vec_to_repr a) (vec_to_repr b)
+        (String.concat ""
+           (Array.to_list
+              (Array.map (fun x -> if x <> 0 then "1" else "0") assign)))
+  | Behavior.Halt_liar it -> Printf.sprintf "l:%d" it
+  | Behavior.Spam { period; payload_bytes; until } ->
+      Printf.sprintf "m:%d:%d:%d" period payload_bytes until
+  | Behavior.Garbage at -> Printf.sprintf "g:%d" at
+  | Behavior.Lagger d -> Printf.sprintf "w:%d" d
+
+let ( let* ) = Result.bind
+
+let int_of_repr s =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "bad int %S" s)
+
+let behavior_of_repr s =
+  match String.split_on_char ':' s with
+  | [ "s" ] -> Ok Behavior.Silent
+  | [ "c"; t ] ->
+      let* t = int_of_repr t in
+      Ok (Behavior.Crash_at t)
+  | [ "h"; v ] ->
+      let* v = vec_of_repr v in
+      Ok (Behavior.Honest_with_input v)
+  | [ "e"; a; b ] ->
+      let* a = vec_of_repr a in
+      let* b = vec_of_repr b in
+      Ok (Behavior.Equivocate (a, b))
+  | [ "x"; a; b; assign ] ->
+      let* a = vec_of_repr a in
+      let* b = vec_of_repr b in
+      let* assign = digits_to_array assign in
+      Ok (Behavior.Equivocate_split { values = (a, b); assign })
+  | [ "l"; it ] ->
+      let* it = int_of_repr it in
+      Ok (Behavior.Halt_liar it)
+  | [ "m"; period; bytes; until ] ->
+      let* period = int_of_repr period in
+      let* payload_bytes = int_of_repr bytes in
+      let* until = int_of_repr until in
+      Ok (Behavior.Spam { period; payload_bytes; until })
+  | [ "g"; at ] ->
+      let* at = int_of_repr at in
+      Ok (Behavior.Garbage at)
+  | [ "w"; d ] ->
+      let* d = int_of_repr d in
+      Ok (Behavior.Lagger d)
+  | _ -> Error (Printf.sprintf "bad behavior %S" s)
+
+let atom_to_repr = function
+  | Corrupt_at { tick; party; behavior } ->
+      Printf.sprintf "C,%d,%d,%s" tick party (behavior_to_repr behavior)
+  | Partition { from_tick; until_tick; group_of } ->
+      Printf.sprintf "P,%d,%d,%s" from_tick until_tick
+        (String.concat "."
+           (Array.to_list (Array.map string_of_int group_of)))
+  | Delay_spike { from_tick; until_tick; factor } ->
+      Printf.sprintf "D,%d,%d,%d" from_tick until_tick factor
+  | Duplicate { from_tick; until_tick; percent } ->
+      Printf.sprintf "U,%d,%d,%d" from_tick until_tick percent
+  | Reorder { from_tick; until_tick; window } ->
+      Printf.sprintf "R,%d,%d,%d" from_tick until_tick window
+
+let atom_of_repr s =
+  match String.split_on_char ',' s with
+  | [ "C"; tick; party; behavior ] ->
+      let* tick = int_of_repr tick in
+      let* party = int_of_repr party in
+      let* behavior = behavior_of_repr behavior in
+      Ok (Corrupt_at { tick; party; behavior })
+  | [ "P"; from_tick; until_tick; groups ] ->
+      let* from_tick = int_of_repr from_tick in
+      let* until_tick = int_of_repr until_tick in
+      let* group_of =
+        List.fold_left
+          (fun acc g ->
+            let* acc = acc in
+            let* g = int_of_repr g in
+            Ok (g :: acc))
+          (Ok [])
+          (String.split_on_char '.' groups)
+      in
+      Ok
+        (Partition
+           { from_tick; until_tick; group_of = Array.of_list (List.rev group_of) })
+  | [ "D"; from_tick; until_tick; factor ] ->
+      let* from_tick = int_of_repr from_tick in
+      let* until_tick = int_of_repr until_tick in
+      let* factor = int_of_repr factor in
+      Ok (Delay_spike { from_tick; until_tick; factor })
+  | [ "U"; from_tick; until_tick; percent ] ->
+      let* from_tick = int_of_repr from_tick in
+      let* until_tick = int_of_repr until_tick in
+      let* percent = int_of_repr percent in
+      Ok (Duplicate { from_tick; until_tick; percent })
+  | [ "R"; from_tick; until_tick; window ] ->
+      let* from_tick = int_of_repr from_tick in
+      let* until_tick = int_of_repr until_tick in
+      let* window = int_of_repr window in
+      Ok (Reorder { from_tick; until_tick; window })
+  | _ -> Error (Printf.sprintf "bad atom %S" s)
+
+let to_repr plan = String.concat ";" (List.map atom_to_repr plan)
+
+let of_repr = function
+  | "" -> Ok []
+  | s ->
+      List.fold_left
+        (fun acc a ->
+          let* acc = acc in
+          let* atom = atom_of_repr a in
+          Ok (atom :: acc))
+        (Ok [])
+        (String.split_on_char ';' s)
+      |> Result.map List.rev

@@ -106,7 +106,6 @@ let shrink ?(max_tries = 200) ~reproduces plan =
     in
     match try_drop 0 with Some smaller -> removal smaller | None -> plan
   in
-  let plan = removal plan in
   (* Phase 2: per-atom numeric shrinking. Every candidate is tested against
      the current (already partially shrunk) plan, so the returned plan as a
      whole is known to reproduce. *)
@@ -133,8 +132,18 @@ let shrink ?(max_tries = 200) ~reproduces plan =
     done;
     !plan
   in
-  let plan = numeric plan in
-  (* Numeric shrinking can unlock further removals (a weakened atom may now
-     be redundant); one more removal pass restores 1-minimality. *)
-  let plan = removal plan in
+  (* Removal and numeric shrinking feed each other: a weakened atom may
+     become removable, and a removal may make a previously-rejected
+     weakening of another atom reproduce. Iterating both passes to a
+     joint fixpoint is what makes the result 1-minimal in the strong
+     sense (dropping any atom or applying any single candidate weakening
+     stops reproducing) — a single removal pass after the numeric pass,
+     as earlier versions did, can leave reachable weakenings behind.
+     Termination: every accepted step strictly shrinks the atom count or
+     some atom's numeric measure, both well-founded. *)
+  let rec fix plan =
+    let plan' = numeric (removal plan) in
+    if !exhausted || plan' = plan then plan' else fix plan'
+  in
+  let plan = fix plan in
   { plan; tries = !tries; minimal = not !exhausted }

@@ -26,4 +26,16 @@ val shrink :
   ?max_tries:int -> reproduces:(Fault_plan.t -> bool) -> Fault_plan.t -> outcome
 (** [max_tries] caps oracle invocations (default [200]). The initial plan
     is assumed to reproduce; it is returned unchanged if nothing smaller
-    does. *)
+    does. Removal and numeric passes iterate to a {e joint} fixpoint, so
+    when [minimal] is [true] the result is 1-minimal against both move
+    kinds: dropping any single atom, or replacing any atom by any of its
+    {!candidates}, yields a plan the oracle rejects. Shrinking is
+    therefore idempotent — shrinking a shrunk plan returns it unchanged
+    (modulo oracle invocations spent re-verifying). *)
+
+val candidates : Fault_plan.atom -> Fault_plan.atom list
+(** The single-step weakenings of one atom, strongest simplification
+    first: ticks bisected toward 0, windows toward length 1, factors /
+    percentages / jitter toward their weakest value, behaviours toward
+    [Silent]. Exposed so property tests can check 1-minimality of
+    {!shrink} output against exactly the moves the shrinker uses. *)

@@ -1,0 +1,177 @@
+(** Stateful depth-first enumeration of engine nondeterminism — bounded
+    model checking for small configurations.
+
+    The simulator resolves exactly one kind of nondeterminism by itself:
+    when several events are pending at the minimal tick, [(time, seq)]
+    order decides which fires first. {!Engine.set_chooser} exposes that
+    decision, and this module drives it: every execution is re-run from
+    scratch under a {e schedule prefix} (the chooser answers recorded
+    indices, then [0] — the default — beyond the prefix), and each fresh
+    choice point with [k ≥ 2] candidates registers sibling prefixes for
+    the alternatives still worth trying. The search is therefore
+    stateless per execution and exhaustive over all schedules that differ
+    from the default in the first [max_schedule_depth] choice points —
+    the honestly-stated bound of this bounded model checker.
+
+    Adversary nondeterminism rides the same loop as an outer product over
+    {!Fault_plan}s: crash points become [Corrupt_at _ → Silent] atoms over
+    a tick range, Byzantine per-receiver payload choices become
+    [Corrupt_at _ → Equivocate_split] atoms over a small symbolic domain
+    of value pairs and receiver subsets. A counterexample is always a
+    (plan, schedule) pair — replayable, shrinkable and serialisable.
+
+    Two reduction mechanisms cut the [Pruned] search (both off under
+    [Naive], which is kept as the measured baseline):
+
+    - {b DPOR-style persistent sets}: same-tick events to {e different}
+      targets commute — a handler mutates only its own party's state,
+      sends are enqueued at strictly later ticks and timers target the
+      setting party — so a choice point branches only on the candidates
+      sharing candidate 0's target (and not at all when that target has
+      no live handler: delivering to a crashed party is a no-op, which
+      commutes with everything).
+    - {b canonical-state dedup}: at each fresh choice point the engine
+      state is fingerprinted (current tick, per-party MD5 digest chains
+      over the delivery/timer history, the pending-event multiset in a
+      seq-independent canonical order, handler liveness); a state already
+      visited with at least as much event budget remaining is cut.
+
+    Soundness caveats are spelled out in DESIGN.md §11: the engine's
+    delay policy must be deterministic (lockstep — the default scenario
+    policy), handlers must not create same-tick events for {e other}
+    parties (they cannot: the only same-tick route is the self-targeted
+    timer clamp), and state hashing is exact (full fingerprint
+    comparison, not hash compaction) only up to MD5 collisions.
+
+    Graded by the existing online {!Monitor}: a violating execution is
+    shrunk — schedule indices zeroed/truncated to a fixpoint, then the
+    fault plan through {!Fault_shrink}, then the schedule again — and
+    appended to a soak-style TSV quarantine journal, replayable with
+    [explore_main --replay]. *)
+
+type mode = Naive | Pruned
+
+type adversary =
+  | Honest  (** schedule nondeterminism only: the single empty plan *)
+  | Crash of { party : int; max_tick : int }
+      (** [Corrupt_at {tick; party; behavior = Silent}] for every
+          [tick ∈ [0, max_tick]] *)
+  | Equivocator of { party : int; values : Vec.t * Vec.t }
+      (** [Equivocate_split] over every nonempty receiver subset of the
+          {e other} parties: [party] broadcasts the first value, then
+          sends the second to the subset (see {!Behavior}) *)
+
+type config = {
+  cfg : Config.t;
+  inputs : Vec.t list;  (** one per party *)
+  mode : mode;
+  adversary : adversary;
+  mutant : Party.mutant option;
+      (** deliberately broken honest-party variant — the explorer must
+          rediscover both known mutants exhaustively *)
+  protocol : [ `Maaa | `Ew ];
+  max_events : int;  (** per-execution engine event budget *)
+  max_executions : int;  (** global execution budget for the search *)
+  max_schedule_depth : int;
+      (** choice points after which executions follow the default
+          schedule unconditionally (the exhaustiveness bound) *)
+  max_counterexamples : int;
+      (** stop searching a plan's schedule space after this many violating
+          executions have been shrunk and recorded (the remaining plans
+          are still explored) *)
+}
+
+val default_config :
+  ?mode:mode ->
+  ?adversary:adversary ->
+  ?mutant:Party.mutant ->
+  ?protocol:[ `Maaa | `Ew ] ->
+  ?max_events:int ->
+  ?max_executions:int ->
+  ?max_schedule_depth:int ->
+  ?max_counterexamples:int ->
+  cfg:Config.t ->
+  inputs:Vec.t list ->
+  unit ->
+  config
+(** Defaults: [Pruned], [Honest], no mutant, [`Maaa], 50_000 events,
+    20_000 executions, depth 4, 3 counterexamples.
+    @raise Invalid_argument on input-count mismatch or an out-of-range /
+    budget-violating adversary party. *)
+
+type counterexample = {
+  cx_plan : Fault_plan.t;
+  cx_schedule : int list;  (** chooser answers, one per [k ≥ 2] point *)
+  cx_invariants : string list;
+      (** sorted violated-invariant names: monitor invariants plus
+          ["liveness"] for a quiescent run with a silent graded party *)
+  cx_shrunk_plan : Fault_plan.t;
+  cx_shrunk_schedule : int list;
+  cx_tries : int;  (** oracle re-executions spent shrinking *)
+  cx_minimal : bool;
+      (** the joint (schedule zeroing ∘ {!Fault_shrink}) fixpoint was
+          reached within the shrinker's try budget *)
+}
+
+type report = {
+  r_mode : mode;
+  executions : int;  (** complete re-executions performed *)
+  choice_points : int;  (** chooser consultations across all executions *)
+  truncated : int;
+      (** executions stopped by [max_events] — counted, never graded for
+          liveness (exhaustiveness holds only below the budget) *)
+  dedup_cuts : int;  (** executions abandoned at a revisited state *)
+  distinct_states : int;  (** canonical fingerprints recorded *)
+  exhausted : bool;
+      (** the bounded schedule space was drained; [false] when
+          [max_executions] stopped the search or a plan was abandoned at
+          [max_counterexamples] *)
+  counterexamples : counterexample list;
+}
+
+val explore : config -> report
+(** Runs the full search: every plan in the adversary's symbolic domain,
+    DFS over the schedule space of each. Deterministic: same config, same
+    report. *)
+
+val replay : config -> plan:Fault_plan.t -> schedule:int list -> string list
+(** One concrete execution under [plan] with the chooser answering
+    [schedule] (then default); returns the sorted violated-invariant
+    names, [] when clean. The [mode]/[adversary] fields of [config] are
+    ignored — a quarantined counterexample replays against the config
+    alone. *)
+
+(** {2 Quarantine journal}
+
+    Same shape as the soak journal (schema ["maaa-explore-quarantine/1"]):
+    one TSV header line binding the config, one [stats] line, one [case]
+    line per counterexample, every line ending in a ["."] sentinel.
+    Fault plans embed via {!Fault_plan.to_repr} (tab-free by
+    construction); vectors as ['/']-joined ["%h"] floats. *)
+
+val write_quarantine : path:string -> config -> report -> unit
+
+type replay_outcome = {
+  rp_total : int;
+  rp_reproduced : int;
+  rp_failures : string list;  (** one human-readable line per failure *)
+}
+
+val replay_quarantine : path:string -> (replay_outcome, string) result
+(** Parses a quarantine file, re-runs every case's {e shrunk}
+    counterexample and checks the recorded invariants are violated again.
+    [Error] on unparsable files. *)
+
+(** {2 Reprs} — the journal's field encodings, exposed for the CLI. *)
+
+val mode_repr : mode -> string
+val mode_of_repr : string -> (mode, string) result
+val adversary_repr : adversary -> string
+
+val adversary_of_repr : string -> (adversary, string) result
+(** ["honest"], ["crash:PARTY:MAXTICK"], or ["equiv:PARTY:VA:VB"] with
+    vectors as ['/']-joined floats (hex or decimal). *)
+
+val mutant_repr : Party.mutant option -> string
+val mutant_of_repr : string -> (Party.mutant option, string) result
+

@@ -309,7 +309,8 @@ let dispatch g insts ~slot ev =
 
 (* -- group execution ---------------------------------------------------- *)
 
-let run_group ?(monitor = false) ?(batching = false) ?tracer scenarios =
+let run_group ?(monitor = false) ?(batching = false) ?tracer ?on_engine
+    scenarios =
   match scenarios with
   | [] -> []
   | scenarios ->
@@ -346,6 +347,7 @@ let run_group ?(monitor = false) ?(batching = false) ?tracer scenarios =
           ~policy:(fun ~rng:_ ~now:_ ~src:_ ~dst:_ -> 1)
           ()
       in
+      (match on_engine with Some f -> f eng | None -> ());
       let g =
         {
           eng;

@@ -63,6 +63,7 @@ val run_group :
   ?monitor:bool ->
   ?batching:bool ->
   ?tracer:(int -> Message.t Engine.trace_event -> unit) ->
+  ?on_engine:(Message.t Engine.t -> unit) ->
   Scenario.t list ->
   Runner.result list
 (** [run_group scenarios] runs every scenario to termination on one
@@ -74,7 +75,10 @@ val run_group :
     it requires every scenario to use the [`Batched] message layer (and
     is only byte-faithful when all instances share one uniform-delay
     policy, as the differential grid's batching arm pins down).
-    [?tracer j] observes instance [j]'s engine trace events. *)
+    [?tracer j] observes instance [j]'s engine trace events.
+    [?on_engine] receives the shared engine right after creation (before
+    any instance attaches) — the seam the choice-point-hook tests use to
+    install a default {!Engine.set_chooser} on the mux engine. *)
 
 val run_many :
   ?monitor:bool ->

@@ -193,7 +193,8 @@ let grade ~(scenario : Scenario.t) ~termination ~stats ~traffic ~monitor
     wire;
   }
 
-let run ?(monitor = false) ?(fail_fast = false) ?tracer (s : Scenario.t) =
+let run ?(monitor = false) ?(fail_fast = false) ?tracer ?on_engine
+    (s : Scenario.t) =
   let cfg = s.Scenario.cfg in
   let policy =
     match s.chaos with
@@ -208,6 +209,10 @@ let run ?(monitor = false) ?(fail_fast = false) ?tracer (s : Scenario.t) =
       ~n:cfg.Config.n ~policy ()
   in
   if s.isolate then Engine.set_isolation engine `Isolate;
+  (* The explorer's seam: hand the freshly created engine to the caller
+     (to install a schedule chooser) before any party attaches or any
+     event is enqueued. *)
+  (match on_engine with Some f -> f engine | None -> ());
   (* The net transport must be below the engine before the first send;
      its own wall budget doubles as the wire-stall watchdog. [Fun.protect]
      guarantees the sockets die with the run, also on exceptions. *)

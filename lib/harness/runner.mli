@@ -117,6 +117,7 @@ val run :
   ?monitor:bool ->
   ?fail_fast:bool ->
   ?tracer:(Message.t Engine.trace_event -> unit) ->
+  ?on_engine:(Message.t Engine.t -> unit) ->
   Scenario.t ->
   result
 (** Runs ΠAA for every honest party and installs the scenario's Byzantine
@@ -137,7 +138,11 @@ val run :
 
     [?tracer] observes every engine trace event (chained after the
     monitor's own tracer when both are present) — the hook the
-    differential grid uses to capture full send/deliver traces. *)
+    differential grid uses to capture full send/deliver traces.
+
+    [?on_engine] receives the engine right after creation, before any
+    party attaches or any event is enqueued — the seam through which the
+    explorer installs an {!Engine.set_chooser} schedule strategy. *)
 
 val run_batch : ?domains:int -> ?monitor:bool -> Scenario.t list -> result list
 (** Runs the scenarios on a {!Pool} of [domains] worker domains (default

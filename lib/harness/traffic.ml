@@ -21,7 +21,7 @@ let klass_of = function
   | Message.Sync_round _ ->
       Baseline
   | Message.Rbc_batch _ -> Batched_rbc
-  | Message.Ew_value _ | Message.Ew_report _ -> Ew
+  | Message.Ew_value _ | Message.Ew_echo _ | Message.Ew_report _ -> Ew
   | Message.Obc_report _ -> Obc_reports
   | Message.Witness_set _ -> Witness_sets
   | Message.Junk _ -> Junk

@@ -350,7 +350,8 @@ let handle t (ev : Message.t Transport.event) =
           | Some i when not (Init_round.has_output i) ->
               Init_round.on_witness_set i ~from:src parties
           | _ -> ())
-      | Message.Sync_round _ | Message.Ew_value _ | Message.Ew_report _
+      | Message.Sync_round _ | Message.Ew_value _ | Message.Ew_echo _
+      | Message.Ew_report _
       | Message.Junk _ ->
           ())
 

@@ -153,6 +153,10 @@ let malformed t (msg : Message.t) : string option =
       else if Vec.dim value <> t.cfg.Config.d then
         Some "EW value dimension mismatch"
       else None
+  | Message.Ew_echo { iter; pairs; _ } ->
+      if iter < 1 then Some (Printf.sprintf "EW echo for iteration %d" iter)
+      else if not (ok_pairs t pairs) then Some "EW echo with invalid pairs"
+      else None
   | Message.Ew_report { iter; pairs; _ } ->
       if iter < 1 then Some (Printf.sprintf "EW report for iteration %d" iter)
       else if not (ok_pairs t pairs) then Some "EW report with invalid pairs"

@@ -119,6 +119,11 @@ let write b = function
   | Message.Junk n ->
       w8 b 7;
       w32 b n
+  | Message.Ew_echo { instance; iter; pairs } ->
+      w8 b 8;
+      w32 b instance;
+      w32 b iter;
+      wpairs b pairs
 
 let encode msg =
   let b = Buffer.create 128 in
@@ -236,6 +241,10 @@ let read c =
       let iter = r32 c in
       Message.Ew_report { instance; iter; pairs = rpairs c }
   | 7 -> Message.Junk (r32 c)
+  | 8 ->
+      let instance = r32 c in
+      let iter = r32 c in
+      Message.Ew_echo { instance; iter; pairs = rpairs c }
   | k -> bad "unknown message kind %d" k
 
 let decode bytes =

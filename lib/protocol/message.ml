@@ -23,6 +23,7 @@ type t =
   | Witness_set of { instance : int; parties : int list }
   | Sync_round of { round : int; value : Vec.t }
   | Ew_value of { instance : int; iter : int; value : Vec.t }
+  | Ew_echo of { instance : int; iter : int; pairs : (int * Vec.t) list }
   | Ew_report of { instance : int; iter : int; pairs : (int * Vec.t) list }
   | Junk of int
 
@@ -46,6 +47,7 @@ let size_of = function
   | Witness_set { parties; _ } -> 16 + (4 * List.length parties)
   | Sync_round { value; _ } -> 16 + (8 * Vec.dim value)
   | Ew_value { value; _ } -> 16 + (8 * Vec.dim value)
+  | Ew_echo { pairs; _ } -> 16 + size_of_payload (Ppairs pairs)
   | Ew_report { pairs; _ } -> 16 + size_of_payload (Ppairs pairs)
   | Junk n -> 16 + n
 
@@ -68,6 +70,8 @@ let with_instance j = function
       else Witness_set { w with instance = j }
   | Ew_value r ->
       if r.instance = j then Ew_value r else Ew_value { r with instance = j }
+  | Ew_echo r ->
+      if r.instance = j then Ew_echo r else Ew_echo { r with instance = j }
   | Ew_report r ->
       if r.instance = j then Ew_report r else Ew_report { r with instance = j }
   | (Sync_round _ | Junk _) as m -> m
@@ -79,6 +83,7 @@ let instance_of = function
   | Obc_report { instance; _ }
   | Witness_set { instance; _ }
   | Ew_value { instance; _ }
+  | Ew_echo { instance; _ }
   | Ew_report { instance; _ } ->
       instance
   | Sync_round _ | Junk _ -> 0
@@ -108,6 +113,8 @@ let pp ppf = function
       Format.fprintf ppf "witness-set (%d)" (List.length parties)
   | Sync_round { round; _ } -> Format.fprintf ppf "sync-round[%d]" round
   | Ew_value { iter; _ } -> Format.fprintf ppf "ew-value[%d]" iter
+  | Ew_echo { iter; pairs; _ } ->
+      Format.fprintf ppf "ew-echo[%d] (%d pairs)" iter (List.length pairs)
   | Ew_report { iter; pairs; _ } ->
       Format.fprintf ppf "ew-report[%d] (%d pairs)" iter (List.length pairs)
   | Junk n -> Format.fprintf ppf "junk(%d)" n

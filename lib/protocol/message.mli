@@ -48,6 +48,13 @@ type t =
       (** pure-synchronous baseline: round-[r] value exchange *)
   | Ew_value of { instance : int; iter : int; value : Vec.t }
       (** Erbes–Wattenhofer quadratic AA: direct iteration-[iter] value *)
+  | Ew_echo of { instance : int; iter : int; pairs : (int * Vec.t) list }
+      (** Erbes–Wattenhofer quadratic AA, equivocation defence: the sender
+          vouches that it received value [v] directly from party [p], for
+          each listed pair. A pair enters a receiver's value set only once
+          [n − t] distinct parties echo the same [(p, v)] — the
+          echo-confirmation quorum that replaces per-value reliable
+          broadcast (see {!Ew_aa}). *)
   | Ew_report of { instance : int; iter : int; pairs : (int * Vec.t) list }
       (** Erbes–Wattenhofer quadratic AA: direct witness report *)
   | Junk of int  (** adversarial noise *)

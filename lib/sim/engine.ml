@@ -32,6 +32,13 @@ type 'msg trace_event =
   | Timer_fired of { party : int; at : time; tag : int }
   | Party_failed of failure
 
+type 'msg choice = {
+  ch_at : time;
+  ch_seq : int;
+  ch_target : int;
+  ch_event : 'msg event;
+}
+
 type 'msg t = {
   n : int;
   policy : delay_policy;
@@ -47,6 +54,7 @@ type 'msg t = {
   mutable has_flushers : bool;
   mutable flushed_upto : time;  (* last tick whose flushers have run *)
   mutable tracer : ('msg trace_event -> unit) option;
+  mutable chooser : ('msg choice array -> int) option;
   mutable isolation : isolation;
   mutable stop_reason : stop_reason;
   mutable failures : failure list;  (* reverse chronological *)
@@ -86,6 +94,7 @@ let create ?(seed = 0x5eedL) ?(size_of = fun _ -> 0) ?(classes = 0) ?classify
     has_flushers = false;
     flushed_upto = -1;
     tracer = None;
+    chooser = None;
     isolation = `Fail_fast;
     stop_reason = `Quiescent;
     failures = [];
@@ -123,6 +132,22 @@ let wrap_party t i f =
 let set_isolation t mode = t.isolation <- mode
 let stop_reason t = t.stop_reason
 let failures t = List.rev t.failures
+let set_chooser t f = t.chooser <- Some f
+let clear_chooser t = t.chooser <- None
+let has_handler t i = i >= 0 && i < t.n && t.handlers.(i) <> None
+
+let pending t =
+  let acc = ref [] in
+  Heap.Keyed.iter t.queue (fun ~key ~aux ev ->
+      acc :=
+        {
+          ch_at = key lsr seq_bits;
+          ch_seq = key land ((1 lsl seq_bits) - 1);
+          ch_target = aux;
+          ch_event = ev;
+        }
+        :: !acc);
+  List.sort (fun a b -> compare (a.ch_at, a.ch_seq) (b.ch_at, b.ch_seq)) !acc
 
 let push t ~at ~target ev =
   let at = max at t.now in
@@ -295,8 +320,52 @@ let run ?until ?(max_events = 10_000_000) ?(on_budget = `Raise) ?should_stop t
             continue := false
       end
       else begin
-        let target = Heap.Keyed.min_aux_exn t.queue in
-        let ev = Heap.Keyed.pop_exn t.queue in
+        let target, ev =
+          match t.chooser with
+          | None ->
+              let target = Heap.Keyed.min_aux_exn t.queue in
+              let ev = Heap.Keyed.pop_exn t.queue in
+              (target, ev)
+          | Some choose ->
+              (* Choice point: gather every entry of the minimal tick (they
+                 pop in seq order, so the candidate array is sorted), let
+                 the strategy pick one, and re-insert the rest under their
+                 original keys — keys are unique, so the remainder pops in
+                 exactly the order it would have without the detour, and a
+                 strategy that always answers [0] reproduces the default
+                 pop order byte-for-byte. *)
+              let rec gather acc =
+                if
+                  (not (Heap.Keyed.is_empty t.queue))
+                  && Heap.Keyed.min_key_exn t.queue lsr seq_bits = at
+                then
+                  let key = Heap.Keyed.min_key_exn t.queue in
+                  let aux = Heap.Keyed.min_aux_exn t.queue in
+                  let ev = Heap.Keyed.pop_exn t.queue in
+                  gather
+                    ({
+                       ch_at = at;
+                       ch_seq = key land ((1 lsl seq_bits) - 1);
+                       ch_target = aux;
+                       ch_event = ev;
+                     }
+                    :: acc)
+                else List.rev acc
+              in
+              let cands = Array.of_list (gather []) in
+              let k = Array.length cands in
+              let idx = if k = 1 then 0 else choose cands in
+              if idx < 0 || idx >= k then
+                invalid_arg "Engine.run: chooser index out of range";
+              Array.iteri
+                (fun i c ->
+                  if i <> idx then
+                    Heap.Keyed.push t.queue
+                      ~key:((c.ch_at lsl seq_bits) lor c.ch_seq)
+                      ~aux:c.ch_target c.ch_event)
+                cands;
+              (cands.(idx).ch_target, cands.(idx).ch_event)
+        in
         t.now <- max t.now at;
         t.events_processed <- t.events_processed + 1;
         (match ev with

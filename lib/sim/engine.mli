@@ -220,3 +220,44 @@ val set_tracer : 'msg t -> ('msg trace_event -> unit) -> unit
     free when unset. *)
 
 val clear_tracer : 'msg t -> unit
+
+(** {2 Choice points — the explorer's seam}
+
+    All nondeterminism the engine resolves by itself lives in one place:
+    when several events are pending at the minimal tick, the (time, seq)
+    key order decides which fires first. A {e chooser} intercepts exactly
+    that decision. With a chooser set, the run loop gathers every entry of
+    the minimal tick into a candidate array (in seq, i.e. default-pop,
+    order), asks the chooser for an index, processes that event and
+    re-inserts the rest under their original keys. A chooser that always
+    answers [0] therefore reproduces the default schedule byte-for-byte —
+    the invariant the differential tests pin — while [lib/explore]
+    enumerates the other answers to model-check small configurations.
+
+    The chooser is only consulted when at least two events share the
+    minimal tick; single-candidate pops take the ordinary path. *)
+
+type 'msg choice = {
+  ch_at : time;  (** the tick every candidate shares *)
+  ch_seq : int;  (** engine sequence number (the default tiebreaker) *)
+  ch_target : int;  (** receiving party *)
+  ch_event : 'msg event;
+}
+
+val set_chooser : 'msg t -> ('msg choice array -> int) -> unit
+(** [choose] receives the same-tick candidates sorted by [ch_seq]
+    (ascending — index 0 is what the engine would pop by default) and
+    must return an index into the array; anything out of range raises
+    [Invalid_argument] from {!run}. *)
+
+val clear_chooser : 'msg t -> unit
+
+val pending : 'msg t -> 'msg choice list
+(** Snapshot of the whole event queue, sorted by [(ch_at, ch_seq)]; does
+    not disturb the heap. The explorer folds this into its canonical
+    state fingerprint. O(queue · log queue) — not for hot paths. *)
+
+val has_handler : 'msg t -> int -> bool
+(** Whether party [i] currently has a handler installed ([false] for
+    crashed/cleared parties, and for out-of-range [i]). Events to
+    handler-less targets are no-ops, which the explorer's pruning uses. *)

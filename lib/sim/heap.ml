@@ -154,5 +154,10 @@ module Keyed = struct
     end;
     top
 
+  let iter t f =
+    for i = 0 to t.size - 1 do
+      f ~key:t.keys.(i) ~aux:t.aux.(i) t.data.(i)
+    done
+
   let clear t = t.size <- 0
 end

@@ -49,5 +49,10 @@ module Keyed : sig
   (** Removes and returns an element with the minimal key.
       @raise Invalid_argument on an empty heap. *)
 
+  val iter : 'a t -> (key:int -> aux:int -> 'a -> unit) -> unit
+  (** Visits every entry in internal (heap-array) order — {e not} sorted.
+      The engine's pending-event snapshot sorts the result itself. Must
+      not mutate the heap from [f]. *)
+
   val clear : 'a t -> unit
 end

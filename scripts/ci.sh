@@ -91,6 +91,44 @@ echo "== multi-check (multiplexed vs sequential differential grid) =="
 # references — results, stats, traffic, traces, monitor summaries
 dune exec bin/multi_check_main.exe
 
+echo "== explore-check (bounded model checking, pinned gates) =="
+# DFS over all delivery interleavings of the pinned n=3 D=1 config:
+# honest space exhaustively clean, both mutants rediscovered with
+# replay-verified shrunk repros, DPOR + state dedup >= 5x vs naive
+dune exec bin/explore_main.exe -- --check
+
+echo "== explore quarantine round trip =="
+# the premature-output mutant must quarantine, and every quarantined
+# shrunk repro must replay (exit 1 from the first run is the expected
+# "violations found" signal, not a failure)
+rc=0
+dune exec bin/explore_main.exe -- --mutant premature-output --depth 1 \
+  --out _build/EXPLORE_quarantine.tsv >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "ci: explore mutant run should exit 1 (violations), got $rc" >&2
+  exit 1
+fi
+dune exec bin/explore_main.exe -- --replay _build/EXPLORE_quarantine.tsv
+
+echo "== explore CLI validation (one-line errors, exit 2) =="
+for bad in "--mode bogus" "--mode" "--mutant bogus" "--adversary bogus" \
+    "--adversary crash:x:2" "--n 0" "--n x" "--d 0" "--ts -1" "--eps 0" \
+    "--eps x" "--delta 0" "--depth -1" "--max-execs 0" "--protocol bogus" \
+    "--out" "--replay" "--frobnicate" "--n 3 --ts 1"; do
+  rc=0
+  dune exec bin/explore_main.exe -- $bad >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "ci: explore '$bad' should exit 2, got $rc" >&2
+    exit 1
+  fi
+done
+rc=0
+dune exec bin/explore_main.exe -- --replay /nonexistent.tsv >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "ci: explore '--replay /nonexistent.tsv' should exit 2, got $rc" >&2
+  exit 1
+fi
+
 echo "== serve/net_check CLI validation (one-line errors, exit 2) =="
 # the socket end-to-end path (handshake, sim + net answers) is covered
 # by test_net.ml under `dune runtest` above; here we pin the front
